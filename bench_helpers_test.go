@@ -1,0 +1,127 @@
+package mpsockit
+
+import (
+	"mpsockit/internal/core"
+	"mpsockit/internal/debug"
+	"mpsockit/internal/isa"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/partition"
+	"mpsockit/internal/recode"
+	"mpsockit/internal/script"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/vp"
+	"mpsockit/internal/workload"
+)
+
+func newRecoder(src string) (*recode.Recoder, error) {
+	return recode.New(src)
+}
+
+// runE12 exercises the scripted-watchpoint flow: a producer writes a
+// rising sequence into a shared buffer; the debug script asserts a
+// system-level invariant (value < 200) on every write, without
+// touching the target program.
+func runE12() (*vp.VP, int, int, error) {
+	prog, err := isa.Assemble(`
+		li   s0, 0x40000100
+		li   s1, 16
+		li   s2, 0
+	loop:
+		addi s2, s2, 30
+		sw   s2, 0(s0)
+		addi s0, s0, 4
+		addi s1, s1, -1
+		bne  s1, r0, loop
+		halt
+	`)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	k := sim.NewKernel()
+	v := vp.New(k, vp.DefaultConfig(1))
+	v.LoadProgram(0, prog)
+	d := debug.New(v)
+	in := script.New(d)
+	in.Symbols = prog.Symbols
+	v.Start()
+	err = in.Run(`
+		set limit 200
+		watch write 0x40000100 0x40000180
+		onwatch 1 {
+			assert $hit_value < $limit
+		}
+		run 1000us
+	`)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	hits := 0
+	if err := in.Run("print hits:1"); err != nil {
+		return nil, 0, 0, err
+	}
+	// Parse "hits:1 = N" from the last output line.
+	var n int
+	if len(in.Out) > 0 {
+		_, _ = sscanLast(in.Out[len(in.Out)-1], &n)
+		hits = n
+	}
+	return v, hits, len(in.Violations), nil
+}
+
+func sscanLast(s string, n *int) (int, error) {
+	// Lines look like "hits:1 = 16".
+	i := len(s) - 1
+	val := 0
+	mul := 1
+	for i >= 0 && s[i] >= '0' && s[i] <= '9' {
+		val += int(s[i]-'0') * mul
+		mul *= 10
+		i--
+	}
+	*n = val
+	return val, nil
+}
+
+// runE13 compares the two simulation technologies on a ~1 ms virtual
+// workload: the MVP-style task-level model counts kernel events, the
+// ISS counts retired instructions.
+func runE13() (mvpEvents uint64, mvpTime sim.Time, issInstr uint64, issTime sim.Time, err error) {
+	// MVP: the JPEG task graph pipelined until ~1 ms of virtual time.
+	f, err := core.NewFlow(workload.JPEGSourceCIR)
+	if err != nil {
+		return
+	}
+	if err = f.Partition("main", partition.Options{MaxTasks: 4, MinTaskCycles: 500}); err != nil {
+		return
+	}
+	plat := core.DefaultPlatform()
+	if err = f.MapTo(plat, mapping.Options{Heuristic: mapping.List}); err != nil {
+		return
+	}
+	f.Iterations = 8
+	if err = f.Simulate(); err != nil {
+		return
+	}
+	mvpEvents = plat.Kernel.Executed
+	mvpTime = f.Measured
+
+	// ISS: a compute loop on the virtual platform for 1 ms.
+	prog, aerr := isa.Assemble(`
+	loop:
+		addi s0, s0, 1
+		mul  s1, s0, s0
+		j    loop
+	`)
+	if aerr != nil {
+		err = aerr
+		return
+	}
+	k := sim.NewKernel()
+	v := vp.New(k, vp.DefaultConfig(1))
+	v.LoadProgram(0, prog)
+	v.Start()
+	k.RunUntil(sim.Millisecond)
+	issInstr = v.Retired()
+	issTime = k.Now()
+	return
+}

@@ -1,0 +1,93 @@
+// Command cicc is the CIC translator front end (paper section V): it
+// takes the built-in H.264-like CIC specification, an architecture
+// selection (or XML file), translates, optionally dumps the
+// synthesized per-processor code, and runs the result.
+//
+// Usage:
+//
+//	cicc [-arch cell|smp|file.xml] [-dump] [-emit-arch out.xml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mpsockit/internal/cic"
+	"mpsockit/internal/targets"
+	"mpsockit/internal/workload"
+)
+
+func main() {
+	archFlag := flag.String("arch", "cell", "target: cell, smp, or a path to an architecture XML file")
+	dump := flag.Bool("dump", false, "print the synthesized per-processor sources")
+	emitArch := flag.String("emit-arch", "", "write the selected architecture as XML and exit")
+	workers := flag.Int("workers", 3, "parallel encoder workers in the CIC spec")
+	flag.Parse()
+
+	var arch *cic.ArchInfo
+	switch *archFlag {
+	case "cell":
+		arch = targets.CellLike(4)
+	case "smp":
+		arch = targets.SMP(4)
+	default:
+		f, err := os.Open(*archFlag)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := cic.ParseArch(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		arch = a
+	}
+
+	if *emitArch != "" {
+		f, err := os.Create(*emitArch)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := cic.WriteArch(f, arch); err != nil {
+			fatal(err)
+		}
+		fmt.Println("cicc: wrote", *emitArch)
+		return
+	}
+
+	spec := workload.H264Spec(64, 48, 3, *workers, 3, 5)
+	fmt.Printf("cicc: translating %s onto %s\n", spec.Name, arch.Name)
+	m, err := cic.AutoMap(spec, arch)
+	if err != nil {
+		fatal(err)
+	}
+	tp, err := cic.Translate(spec, arch, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(tp.Report)
+	if *dump {
+		var names []string
+		for name := range tp.Generated {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("\n===== %s =====\n%s", name, tp.Generated[name])
+		}
+	}
+	stats, err := tp.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("run: makespan %v, %d bytes moved, %d output ints\n",
+		stats.Makespan, stats.BytesMoved, len(stats.Outputs["merge"]))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command mapsc drives the MAPS-style toolflow (paper section IV):
+// it reads a sequential C-subset source file, extracts a coarse task
+// graph, maps it to an MPSoC platform, and simulates the result.
+//
+// Usage:
+//
+//	mapsc [-tasks N] [-min-cycles C] [-platform wireless|homog16] [-frames N] file.c
+//	mapsc -demo     # run the built-in JPEG case study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpsockit/internal/core"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/partition"
+	"mpsockit/internal/workload"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 4, "maximum number of coarse tasks")
+	minCycles := flag.Int64("min-cycles", 500, "granularity floor in RISC cycles")
+	plat := flag.String("platform", "wireless", "target platform: wireless or homog16")
+	frames := flag.Int("frames", 32, "pipelined iterations to simulate")
+	fn := flag.String("fn", "main", "function to partition")
+	demo := flag.Bool("demo", false, "run the built-in JPEG case study")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *demo:
+		src = workload.JPEGSourceCIR
+		fmt.Println("mapsc: using the built-in JPEG pipeline (section IV case study)")
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := core.NewFlow(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Partition(*fn, partition.Options{MaxTasks: *tasks, MinTaskCycles: *minCycles}); err != nil {
+		fatal(err)
+	}
+	f.ApplyPragmas(*fn)
+
+	target := core.DefaultPlatform()
+	if *plat == "homog16" {
+		target = core.HomogeneousPlatform(16, 1_000_000_000)
+	}
+	if err := f.MapTo(target, mapping.Options{Heuristic: mapping.List}); err != nil {
+		fatal(err)
+	}
+	f.Iterations = *frames
+	if err := f.Simulate(); err != nil {
+		fatal(err)
+	}
+	fmt.Print(f.Report())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapsc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package mpsockit reproduces the systems and claims of "Programming
+// MPSoC Platforms: Road Works Ahead!" (Leupers, Vajda, Bekooij, Ha,
+// Dömer, Nohl — DATE 2009) as a Go toolkit: an MPSoC platform
+// simulator with per-core DVFS, a hybrid time-/space-shared RTOS
+// scheduler, CSDF dataflow analysis with buffer sizing, a MAPS-style
+// parallelizing toolflow over a C-subset IR, the HOPES CIC
+// retargetable programming model with Cell-like and SMP backends, a
+// designer-controlled source recoder, and a deterministic virtual
+// platform with scriptable debugging.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// experiment index; bench_test.go in this directory regenerates every
+// experiment.
+package mpsockit

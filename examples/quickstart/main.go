@@ -1,0 +1,51 @@
+// Quickstart: take a small sequential program through the whole
+// toolkit — parse, analyze, partition (MAPS, section IV), map to a
+// heterogeneous MPSoC, and simulate the pipelined execution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpsockit/internal/core"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/partition"
+)
+
+const src = `
+	int in[128];
+	int mid[128];
+	int out[128];
+
+	void main() {
+		for (int i = 0; i < 128; i++) {
+			mid[i] = in[i] * in[i] + 3;
+		}
+		for (int i = 0; i < 128; i++) {
+			out[i] = mid[i] / 2 - mid[i] / 16;
+		}
+		int sum = 0;
+		for (int i = 0; i < 128; i++) {
+			sum += out[i];
+		}
+		print(sum);
+	}
+`
+
+func main() {
+	flow, err := core.NewFlow(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := flow.Partition("main", partition.Options{MaxTasks: 3, MinTaskCycles: 500}); err != nil {
+		log.Fatal(err)
+	}
+	if err := flow.MapTo(core.DefaultPlatform(), mapping.Options{Heuristic: mapping.List}); err != nil {
+		log.Fatal(err)
+	}
+	flow.Iterations = 16
+	if err := flow.Simulate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(flow.Report())
+}

@@ -1,0 +1,206 @@
+package cir
+
+import "fmt"
+
+// Builtins callable from CIR code. chan_send/chan_recv are the channel
+// primitives the Source Recoder inserts when parallelizing (section
+// VI: "synchronize accesses to shared data by inserting communication
+// channels"); the interpreter and the CIC translator give them
+// semantics.
+var Builtins = map[string]int{ // name -> arity
+	"print":     1,
+	"abs":       1,
+	"min":       2,
+	"max":       2,
+	"clip":      3,
+	"chan_send": 2,
+	"chan_recv": 1,
+}
+
+type checker struct {
+	prog   *Program
+	errs   []error
+	scopes []map[string]*VarDecl
+}
+
+// Check validates name resolution, arity, l-values and pragma syntax.
+// It returns the first error (with source line) or nil.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	global := map[string]*VarDecl{}
+	for _, g := range prog.Globals {
+		if _, dup := global[g.Name]; dup {
+			c.errf(g.Line, "duplicate global %q", g.Name)
+		}
+		global[g.Name] = g
+		if g.Init != nil {
+			c.scopes = []map[string]*VarDecl{global}
+			c.expr(g.Init)
+		}
+	}
+	seenFn := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if seenFn[f.Name] {
+			c.errf(f.Line, "duplicate function %q", f.Name)
+		}
+		if _, isBuiltin := Builtins[f.Name]; isBuiltin {
+			c.errf(f.Line, "function %q shadows a builtin", f.Name)
+		}
+		seenFn[f.Name] = true
+	}
+	for _, f := range prog.Funcs {
+		c.scopes = []map[string]*VarDecl{global, {}}
+		for _, p := range f.Params {
+			if _, dup := c.scopes[1][p.Name]; dup {
+				c.errf(p.Line, "duplicate parameter %q", p.Name)
+			}
+			c.scopes[1][p.Name] = p
+		}
+		c.block(f.Body)
+		for _, pr := range f.Pragmas {
+			c.pragma(pr)
+		}
+	}
+	if len(c.errs) > 0 {
+		return c.errs[0]
+	}
+	return nil
+}
+
+func (c *checker) errf(line int, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("cir: line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) pragma(p *Pragma) {
+	known := map[string]bool{
+		"task": true, "period": true, "deadline": true, "pe": true,
+		"parallel": true, "priority": true, "hard": true, "soft": true,
+	}
+	for k := range p.Keys {
+		if !known[k] {
+			c.errf(p.Line, "unknown pragma key %q", k)
+		}
+	}
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*VarDecl{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(d *VarDecl) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[d.Name]; dup {
+		c.errf(d.Line, "duplicate declaration of %q", d.Name)
+	}
+	top[d.Name] = d
+}
+
+// Lookup resolves name against the scope stack.
+func (c *checker) lookup(name string) *VarDecl {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if d, ok := c.scopes[i][name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *checker) block(b *Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		c.block(x)
+	case *DeclStmt:
+		if x.Decl.Init != nil {
+			c.expr(x.Decl.Init)
+		}
+		c.declare(x.Decl)
+	case *AssignStmt:
+		c.expr(x.LHS)
+		c.expr(x.RHS)
+		if id, ok := x.LHS.(*Ident); ok {
+			if d := c.lookup(id.Name); d != nil && d.ArrayN > 0 {
+				c.errf(x.Line, "cannot assign to array %q without an index", id.Name)
+			}
+		}
+	case *IfStmt:
+		c.expr(x.Cond)
+		c.block(x.Then)
+		if x.Else != nil {
+			c.block(x.Else)
+		}
+	case *WhileStmt:
+		c.expr(x.Cond)
+		c.block(x.Body)
+	case *ForStmt:
+		c.push()
+		if x.Init != nil {
+			c.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			c.expr(x.Cond)
+		}
+		if x.Post != nil {
+			c.stmt(x.Post)
+		}
+		c.block(x.Body)
+		c.pop()
+	case *ReturnStmt:
+		if x.Val != nil {
+			c.expr(x.Val)
+		}
+	case *ExprStmt:
+		c.expr(x.X)
+	}
+}
+
+func (c *checker) expr(e Expr) {
+	switch x := e.(type) {
+	case *IntLit:
+	case *Ident:
+		if c.lookup(x.Name) == nil {
+			c.errf(x.Line, "undeclared identifier %q", x.Name)
+		}
+	case *IndexExpr:
+		c.expr(x.Base)
+		c.expr(x.Idx)
+		if id, ok := x.Base.(*Ident); ok {
+			if d := c.lookup(id.Name); d != nil && d.ArrayN == 0 && !d.IsPtr {
+				c.errf(x.Line, "indexing scalar %q", id.Name)
+			}
+		}
+	case *UnaryExpr:
+		c.expr(x.X)
+		if x.Op == "&" {
+			if _, ok := x.X.(*Ident); !ok {
+				if _, ok := x.X.(*IndexExpr); !ok {
+					c.errf(x.Line, "'&' needs a variable or element")
+				}
+			}
+		}
+	case *BinaryExpr:
+		c.expr(x.L)
+		c.expr(x.R)
+	case *CallExpr:
+		if arity, ok := Builtins[x.Fn]; ok {
+			if len(x.Args) != arity {
+				c.errf(x.Line, "builtin %q wants %d args, got %d", x.Fn, arity, len(x.Args))
+			}
+		} else if f := c.prog.Func(x.Fn); f != nil {
+			if len(x.Args) != len(f.Params) {
+				c.errf(x.Line, "function %q wants %d args, got %d", x.Fn, len(f.Params), len(x.Args))
+			}
+		} else {
+			c.errf(x.Line, "call to undefined function %q", x.Fn)
+		}
+		for _, a := range x.Args {
+			c.expr(a)
+		}
+	}
+}

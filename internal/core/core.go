@@ -1,0 +1,185 @@
+// Package core is the toolkit façade: it wires the paper's toolflow
+// end to end. A sequential C-subset program goes in; analysis
+// (internal/dfa), MAPS-style partitioning (internal/partition),
+// task-to-PE mapping (internal/mapping) and high-level simulation
+// come out, with a consolidated report. The cmd tools and examples
+// drive this API; each stage remains individually accessible for
+// finer control.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mpsockit/internal/cir"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/noc"
+	"mpsockit/internal/partition"
+	"mpsockit/internal/platform"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+)
+
+// Flow is one program's journey through the toolchain.
+type Flow struct {
+	Prog *cir.Program
+	// Partition result (after Partition).
+	Part *partition.Result
+	// Assignment (after MapTo).
+	Assign *mapping.Assignment
+	// Measured makespan (after Simulate).
+	Measured sim.Time
+	// SerialBaseline is the single-core makespan on the best single
+	// core (for speedup reporting).
+	SerialBaseline sim.Time
+	// Iterations is how many data sets (frames/blocks) Simulate
+	// pipelines through the mapped graph (default 16).
+	Iterations int
+
+	steps []string
+}
+
+// NewFlow parses a C-subset source.
+func NewFlow(src string) (*Flow, error) {
+	prog, err := cir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Flow{Prog: prog}, nil
+}
+
+// Partition runs the MAPS partitioner on fn.
+func (f *Flow) Partition(fn string, opt partition.Options) error {
+	res, err := partition.Partition(f.Prog, fn, opt)
+	if err != nil {
+		return err
+	}
+	f.Part = res
+	f.steps = append(f.steps, fmt.Sprintf("partitioned %s into %d tasks", fn, len(res.Graph.Tasks)))
+	return nil
+}
+
+// ApplyPragmas copies '#pragma maps' annotations from the source
+// function onto the partitioned tasks (period/deadline/pe hints).
+func (f *Flow) ApplyPragmas(fn string) {
+	if f.Part == nil {
+		return
+	}
+	fd := f.Prog.Func(fn)
+	if fd == nil {
+		return
+	}
+	if v, ok := fd.Pragma("pe"); ok {
+		if class, err := platform.ParsePEClass(v); err == nil {
+			for _, t := range f.Part.Graph.Tasks {
+				t.PreferredPE = class
+				t.HasPref = true
+			}
+			f.steps = append(f.steps, "applied pe="+v+" preference")
+		}
+	}
+}
+
+// MapTo maps the partitioned graph onto a platform. The flow targets
+// streaming execution, so the default objective is pipeline
+// throughput.
+func (f *Flow) MapTo(plat *platform.Platform, opt mapping.Options) error {
+	if f.Part == nil {
+		return fmt.Errorf("core: Partition must run before MapTo")
+	}
+	opt.Objective = mapping.Throughput
+	a, err := mapping.Map(f.Part.Graph, plat, opt)
+	if err != nil {
+		return err
+	}
+	f.Assign = a
+	f.steps = append(f.steps, fmt.Sprintf("mapped with %v: estimated makespan %v", opt.Heuristic, a.Makespan))
+	return nil
+}
+
+// Simulate executes the mapping on the event-driven platform model
+// (the MVP-style high-level simulation), pipelining Iterations data
+// sets through the task graph, and records the serial baseline for
+// speedup reporting.
+func (f *Flow) Simulate() error {
+	if f.Assign == nil {
+		return fmt.Errorf("core: MapTo must run before Simulate")
+	}
+	iters := f.Iterations
+	if iters <= 0 {
+		iters = 16
+	}
+	measured, err := mapping.ExecutePipelined(f.Assign, iters)
+	if err != nil {
+		return err
+	}
+	f.Measured = measured
+	f.SerialBaseline = SerialMakespan(f.Part.Graph, f.Assign.Platform) * sim.Time(iters)
+	f.steps = append(f.steps, fmt.Sprintf("simulated %d pipelined iterations: makespan %v", iters, measured))
+	return nil
+}
+
+// Speedup returns serial baseline over measured parallel makespan.
+func (f *Flow) Speedup() float64 {
+	if f.Measured == 0 {
+		return 0
+	}
+	return float64(f.SerialBaseline) / float64(f.Measured)
+}
+
+// Report renders the whole flow for the designer.
+func (f *Flow) Report() string {
+	var b strings.Builder
+	b.WriteString("=== mpsockit flow report ===\n")
+	for _, s := range f.steps {
+		b.WriteString("  - " + s + "\n")
+	}
+	if f.Part != nil {
+		b.WriteString(f.Part.Report)
+	}
+	if f.Assign != nil {
+		b.WriteString(f.Assign.Gantt())
+	}
+	if f.Measured > 0 {
+		fmt.Fprintf(&b, "serial baseline %v, parallel %v, speedup %.2fx\n",
+			f.SerialBaseline, f.Measured, f.Speedup())
+	}
+	return b.String()
+}
+
+// SerialMakespan computes the best single-core execution time of a
+// task graph on the platform (every task on one core, no comm).
+func SerialMakespan(g *taskgraph.Graph, plat *platform.Platform) sim.Time {
+	best := sim.Forever
+	for _, c := range plat.Cores {
+		var total sim.Time
+		ok := true
+		for _, t := range g.Tasks {
+			if !t.CanRunOn(c.Class) {
+				ok = false
+				break
+			}
+			total += c.Cycles(t.CyclesOn(c.Class))
+		}
+		if ok && total < best {
+			best = total
+		}
+	}
+	if best == sim.Forever {
+		return 0
+	}
+	return best
+}
+
+// DefaultPlatform builds the standard 6-PE wireless terminal used by
+// the examples and cmd tools.
+func DefaultPlatform() *platform.Platform {
+	k := sim.NewKernel()
+	return platform.NewWirelessTerminal(k, noc.MeshFor(k, 6))
+}
+
+// HomogeneousPlatform builds an n-core homogeneous manycore.
+func HomogeneousPlatform(n int, hz int64) *platform.Platform {
+	k := sim.NewKernel()
+	return platform.NewHomogeneous(k, n, hz, noc.MeshFor(k, n))
+}

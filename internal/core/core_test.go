@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/partition"
+	"mpsockit/internal/workload"
+)
+
+func TestFlowEndToEnd(t *testing.T) {
+	f, err := NewFlow(workload.JPEGSourceCIR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Partition("main", partition.Options{MaxTasks: 4, MinTaskCycles: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MapTo(DefaultPlatform(), mapping.Options{Heuristic: mapping.List}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Simulate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Speedup() <= 1.0 {
+		t.Fatalf("JPEG flow speedup %.2f, want > 1 (the section IV claim)", f.Speedup())
+	}
+	rep := f.Report()
+	for _, want := range []string{"flow report", "MAPS partition", "makespan", "speedup"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report lacks %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFlowOrderEnforced(t *testing.T) {
+	f, _ := NewFlow("void main() { int x = 0; x += 1; }")
+	if err := f.MapTo(DefaultPlatform(), mapping.Options{}); err == nil {
+		t.Fatal("MapTo before Partition accepted")
+	}
+	if err := f.Simulate(); err == nil {
+		t.Fatal("Simulate before MapTo accepted")
+	}
+}
+
+func TestApplyPragmas(t *testing.T) {
+	src := `
+		int a[64];
+		int b[64];
+		#pragma maps task pe=DSP
+		void main() {
+			for (int i = 0; i < 64; i++) { b[i] = a[i] * 3; }
+		}
+	`
+	f, err := NewFlow(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Partition("main", partition.Options{MaxTasks: 2, MinTaskCycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.ApplyPragmas("main")
+	for _, task := range f.Part.Graph.Tasks {
+		if !task.HasPref {
+			t.Fatal("pragma preference not applied")
+		}
+	}
+	if err := f.MapTo(DefaultPlatform(), mapping.Options{Heuristic: mapping.List}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range f.Assign.TaskPE {
+		if f.Assign.Platform.Core(pe).Class.String() != "DSP" {
+			t.Fatalf("task not on DSP despite pragma")
+		}
+	}
+}
+
+func TestSerialMakespanPicksBestCore(t *testing.T) {
+	f, _ := NewFlow(workload.JPEGSourceCIR)
+	_ = f.Partition("main", partition.Options{MaxTasks: 3, MinTaskCycles: 1})
+	plat := DefaultPlatform()
+	s := SerialMakespan(f.Part.Graph, plat)
+	if s <= 0 {
+		t.Fatal("no serial baseline")
+	}
+}

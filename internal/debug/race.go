@@ -1,0 +1,101 @@
+package debug
+
+import (
+	"fmt"
+
+	"mpsockit/internal/isa"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/vp"
+)
+
+// CounterAddr is the shared word the race demo increments.
+const CounterAddr = vp.SharedBase
+
+// RaceProgram returns MR32 source in which a core increments the
+// shared counter iters times through an unguarded read-modify-write
+// window — the canonical data race of the paper's section VII
+// discussion (lost updates depending on interleaving).
+func RaceProgram(iters int) string {
+	return fmt.Sprintf(`
+		.entry main
+	main:
+		li   s0, 0x40000000    # shared counter
+		li   s1, %d            # iterations
+	loop:
+		lw   t0, 0(s0)         # read
+		nop                    # widen the race window
+		nop
+		addi t0, t0, 1         # modify
+		sw   t0, 0(s0)         # write
+		addi s1, s1, -1
+		bne  s1, r0, loop
+		halt
+	`, iters)
+}
+
+// SafeProgram is the corrected version: the read-modify-write is
+// guarded by hardware semaphore 0.
+func SafeProgram(iters int) string {
+	return fmt.Sprintf(`
+		.entry main
+	main:
+		li   s0, 0x40000000    # shared counter
+		li   s1, %d            # iterations
+		li   s2, 0xF0000100    # semaphore 0: load=try-acquire, store=release
+	loop:
+	acquire:
+		lw   t1, 0(s2)
+		beq  t1, r0, acquire   # 0 = busy
+		lw   t0, 0(s0)
+		nop
+		nop
+		addi t0, t0, 1
+		sw   t0, 0(s0)
+		sw   r0, 0(s2)         # release
+		addi s1, s1, -1
+		bne  s1, r0, loop
+		halt
+	`, iters)
+}
+
+// RaceResult reports one execution of the race demo.
+type RaceResult struct {
+	Expected    uint32
+	Final       uint32
+	LostUpdates uint32
+	Retired     uint64
+}
+
+// RunRace executes the given per-core program on `cores` cores and
+// returns the counter outcome. configure (optional) can attach a
+// debugger or intrusive probe before the platform starts.
+func RunRace(cores, iters int, src string, configure func(*vp.VP)) (*RaceResult, error) {
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	v := vp.New(k, vp.DefaultConfig(cores))
+	for c := 0; c < cores; c++ {
+		v.LoadProgram(c, prog)
+	}
+	if configure != nil {
+		configure(v)
+	}
+	v.InstrBudget = uint64(cores*iters*200 + 100_000)
+	v.Start()
+	if !v.RunUntilHalted(10 * sim.Second) {
+		return nil, fmt.Errorf("debug: race program did not halt")
+	}
+	var final uint32
+	for i := 3; i >= 0; i-- {
+		final = final<<8 | uint32(v.Shared[i])
+	}
+	expected := uint32(cores * iters)
+	return &RaceResult{
+		Expected:    expected,
+		Final:       final,
+		LostUpdates: expected - final,
+		Retired:     v.Retired(),
+	}, nil
+}

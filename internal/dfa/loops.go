@@ -1,0 +1,328 @@
+package dfa
+
+import (
+	"fmt"
+
+	"mpsockit/internal/cir"
+)
+
+// LoopInfo is the parallelizability verdict for one canonical loop.
+type LoopInfo struct {
+	Loop     *cir.ForStmt
+	IndexVar string
+	Trip     int
+	// Parallel is true when iterations can execute independently
+	// (after privatizing Private and combining Reductions).
+	Parallel bool
+	// Reason explains a negative verdict.
+	Reason string
+	// Private lists scalars that are written before read each
+	// iteration and can be replicated per partition.
+	Private []string
+	// Reductions lists scalars updated only through associative
+	// compound assignments (+=, *=) and combinable across partitions.
+	Reductions []string
+	// ArraysRead and ArraysWritten list arrays touched with affine
+	// subscripts.
+	ArraysRead    []string
+	ArraysWritten []string
+}
+
+// AnalyzeLoop runs the dependence test the Source Recoder's loop
+// splitter and MAPS' data-parallelism extractor share. prog provides
+// callee bodies for purity checks.
+func AnalyzeLoop(prog *cir.Program, loop *cir.ForStmt) *LoopInfo {
+	info := &LoopInfo{Loop: loop}
+	info.IndexVar = cir.LoopIndexVar(loop)
+	if info.IndexVar == "" {
+		info.Reason = "loop has no recognizable induction variable"
+		return info
+	}
+	info.Trip = cir.TripCount(loop, 0)
+
+	// Gather local declarations inside the body (always private).
+	bodyLocals := map[string]bool{}
+	cir.Walk(loop.Body, func(n cir.Node) bool {
+		if d, ok := n.(*cir.DeclStmt); ok {
+			bodyLocals[d.Decl.Name] = true
+		}
+		return true
+	})
+
+	// Reject impure calls.
+	impure := ""
+	cir.Walk(loop.Body, func(n cir.Node) bool {
+		if c, ok := n.(*cir.CallExpr); ok {
+			if !calleePure(prog, c.Fn, map[string]bool{}) {
+				impure = c.Fn
+			}
+		}
+		return true
+	})
+	if impure != "" {
+		info.Reason = fmt.Sprintf("body calls %q which has side effects", impure)
+		return info
+	}
+
+	accs := StmtAccesses(loop.Body)
+	// Partition accesses by variable.
+	type varAcc struct {
+		reads, writes []Access
+	}
+	byVar := map[string]*varAcc{}
+	order := []string{}
+	for _, a := range accs {
+		if a.Var == info.IndexVar || bodyLocals[a.Var] {
+			continue
+		}
+		va := byVar[a.Var]
+		if va == nil {
+			va = &varAcc{}
+			byVar[a.Var] = va
+			order = append(order, a.Var)
+		}
+		if a.Write {
+			va.writes = append(va.writes, a)
+		} else {
+			va.reads = append(va.reads, a)
+		}
+	}
+
+	for _, v := range order {
+		va := byVar[v]
+		indexed := false
+		for _, a := range append(append([]Access{}, va.reads...), va.writes...) {
+			if a.Indexed {
+				indexed = true
+			}
+		}
+		if indexed {
+			// Array (or pointer-as-array) accesses: every write must be
+			// affine in the loop index, and all accesses must use one
+			// common offset for independence.
+			if len(va.writes) == 0 {
+				info.ArraysRead = append(info.ArraysRead, v)
+				continue
+			}
+			off := int64(0)
+			offSet := false
+			bad := ""
+			for _, a := range append(append([]Access{}, va.writes...), va.reads...) {
+				if !a.Affine || a.IndexVar != info.IndexVar {
+					bad = fmt.Sprintf("%s has non-affine or loop-invariant subscript", v)
+					break
+				}
+				if !offSet {
+					off = a.Offset
+					offSet = true
+				} else if a.Offset != off {
+					bad = fmt.Sprintf("%s accessed at offsets %d and %d (loop-carried)", v, off, a.Offset)
+					break
+				}
+			}
+			if bad != "" {
+				info.Reason = bad
+				return info
+			}
+			info.ArraysWritten = append(info.ArraysWritten, v)
+			continue
+		}
+		// Scalar with writes: private or reduction?
+		if len(va.writes) == 0 {
+			continue // read-only shared scalar is fine
+		}
+		if red, ok := scalarReduction(loop.Body, v); ok {
+			info.Reductions = append(info.Reductions, v)
+			_ = red
+			continue
+		}
+		if writtenBeforeRead(loop.Body, v) {
+			info.Private = append(info.Private, v)
+			continue
+		}
+		info.Reason = fmt.Sprintf("scalar %s carries a value across iterations", v)
+		return info
+	}
+	info.Parallel = true
+	return info
+}
+
+// calleePure reports whether fn (builtin or user) is side-effect-free:
+// no print/chan builtins, no global writes, and only pure callees.
+func calleePure(prog *cir.Program, fn string, visiting map[string]bool) bool {
+	switch fn {
+	case "abs", "min", "max", "clip":
+		return true
+	case "print", "chan_send", "chan_recv":
+		return false
+	}
+	f := prog.Func(fn)
+	if f == nil || visiting[fn] {
+		return false
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	params := map[string]bool{}
+	for _, p := range f.Params {
+		params[p.Name] = true
+	}
+	locals := map[string]bool{}
+	cir.Walk(f.Body, func(n cir.Node) bool {
+		if d, ok := n.(*cir.DeclStmt); ok {
+			locals[d.Decl.Name] = true
+		}
+		return true
+	})
+	pure := true
+	for _, a := range StmtAccesses(f.Body) {
+		if a.Write && !params[a.Var] && !locals[a.Var] {
+			pure = false // writes a global
+		}
+		if a.Write && params[a.Var] {
+			// Writing through a pointer/array parameter mutates caller
+			// state; conservative reject.
+			pure = false
+		}
+	}
+	cir.Walk(f.Body, func(n cir.Node) bool {
+		if c, ok := n.(*cir.CallExpr); ok {
+			if !calleePure(prog, c.Fn, visiting) {
+				pure = false
+			}
+		}
+		return true
+	})
+	return pure
+}
+
+// scalarReduction reports whether every write to v inside body is a
+// `v += e` or `v *= e` whose RHS does not read v.
+func scalarReduction(body *cir.Block, v string) (op string, ok bool) {
+	ok = true
+	cir.Walk(body, func(n cir.Node) bool {
+		a, isAssign := n.(*cir.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		id, isIdent := a.LHS.(*cir.Ident)
+		if !isIdent || id.Name != v {
+			// v read elsewhere is checked below.
+			return true
+		}
+		if a.Op != "+=" && a.Op != "*=" {
+			ok = false
+			return true
+		}
+		if op == "" {
+			op = a.Op
+		} else if op != a.Op {
+			ok = false
+		}
+		// RHS must not read v.
+		var accs []Access
+		exprAccesses(a.RHS, &accs)
+		for _, acc := range accs {
+			if acc.Var == v {
+				ok = false
+			}
+		}
+		return true
+	})
+	if op == "" {
+		return "", false
+	}
+	// v must not be read outside its own reduction updates.
+	reads := 0
+	updates := 0
+	cir.Walk(body, func(n cir.Node) bool {
+		if a, isAssign := n.(*cir.AssignStmt); isAssign {
+			if id, isIdent := a.LHS.(*cir.Ident); isIdent && id.Name == v {
+				updates++
+				return true
+			}
+		}
+		return true
+	})
+	for _, a := range StmtAccesses(body) {
+		if a.Var == v && !a.Write {
+			reads++
+		}
+	}
+	// Compound assignments inject one read per update (the implicit
+	// read of the target); any additional read disqualifies.
+	if reads > updates {
+		ok = false
+	}
+	return op, ok && op != ""
+}
+
+// writtenBeforeRead reports whether the first access to v in body
+// (source order) is an unconditional write at the top level of the
+// body — the privatization criterion.
+func writtenBeforeRead(body *cir.Block, v string) bool {
+	for _, s := range body.Stmts {
+		switch x := s.(type) {
+		case *cir.DeclStmt:
+			if x.Decl.Name == v {
+				return true
+			}
+			if x.Decl.Init != nil && readsVar(x.Decl.Init, v) {
+				return false
+			}
+		case *cir.AssignStmt:
+			if readsVar(x.RHS, v) {
+				return false
+			}
+			if id, ok := x.LHS.(*cir.Ident); ok && id.Name == v {
+				if x.Op == "=" {
+					return true
+				}
+				return false // compound assignment reads first
+			}
+			if lhsReads(x.LHS, v) {
+				return false
+			}
+		default:
+			// Any nested use before a top-level write disqualifies.
+			for _, a := range StmtAccesses(s) {
+				if a.Var == v {
+					return false
+				}
+			}
+		}
+	}
+	return false
+}
+
+func readsVar(e cir.Expr, v string) bool {
+	var accs []Access
+	exprAccesses(e, &accs)
+	for _, a := range accs {
+		if a.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+func lhsReads(e cir.Expr, v string) bool {
+	if idx, ok := e.(*cir.IndexExpr); ok {
+		return readsVar(idx.Idx, v) || readsVar(idx.Base, v)
+	}
+	if u, ok := e.(*cir.UnaryExpr); ok && u.Op == "*" {
+		return readsVar(u.X, v)
+	}
+	return false
+}
+
+// FindLoops returns all for-loops in a function body, outermost first.
+func FindLoops(fn *cir.FuncDecl) []*cir.ForStmt {
+	var out []*cir.ForStmt
+	cir.Walk(fn.Body, func(n cir.Node) bool {
+		if f, ok := n.(*cir.ForStmt); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,582 @@
+// Package mapping assigns task graphs to MPSoC processing elements
+// and schedules them — the back half of the MAPS flow in the paper's
+// section IV: "Using optimization algorithms, the task graphs are
+// mapped to the target architecture, taking into account real-time
+// requirements and preferred PE classes."
+//
+// Three mappers are provided: HEFT-style list scheduling, simulated
+// annealing refinement, and exhaustive search for small instances.
+// Execute runs a mapped graph on the event-driven platform model with
+// real fabric contention — the fast high-level simulation that plays
+// the role of the MAPS Virtual Platform (MVP) in experiments.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/xrand"
+)
+
+// Heuristic selects the mapping algorithm.
+type Heuristic int
+
+// Mapping heuristics.
+const (
+	List Heuristic = iota
+	Anneal
+	Exhaustive
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case List:
+		return "list"
+	case Anneal:
+		return "anneal"
+	default:
+		return "exhaustive"
+	}
+}
+
+// Objective selects what Map optimizes: one-shot makespan (latency)
+// or pipeline throughput (bottleneck stage time) — MAPS uses the
+// latter for streaming multimedia codecs.
+type Objective int
+
+// Mapping objectives.
+const (
+	Makespan Objective = iota
+	Throughput
+)
+
+// Options configures Map.
+type Options struct {
+	Heuristic  Heuristic
+	Objective  Objective
+	Seed       uint64
+	Iterations int // annealing steps (default 2000)
+}
+
+// Slot is one scheduled task occurrence.
+type Slot struct {
+	Task, PE      int
+	Start, Finish sim.Time
+}
+
+// Assignment is a mapping plus its static schedule.
+type Assignment struct {
+	Graph    *taskgraph.Graph
+	Platform *platform.Platform
+	TaskPE   []int
+	Schedule []Slot
+	Makespan sim.Time
+}
+
+// capable lists core IDs that can run task t, respecting a preferred
+// PE class when one is available.
+func capable(g *taskgraph.Graph, plat *platform.Platform, t *taskgraph.Task) []int {
+	var pref, all []int
+	for _, c := range plat.Cores {
+		if !t.CanRunOn(c.Class) {
+			continue
+		}
+		all = append(all, c.ID)
+		if t.HasPref && c.Class == t.PreferredPE {
+			pref = append(pref, c.ID)
+		}
+	}
+	if t.HasPref && len(pref) > 0 {
+		return pref
+	}
+	return all
+}
+
+// evaluate computes the static schedule for a fixed assignment:
+// topological order, communication charged at contention-free fabric
+// estimates, one task at a time per PE.
+func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Time, []Slot, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, nil, err
+	}
+	peAvail := make([]sim.Time, len(plat.Cores))
+	finish := make([]sim.Time, len(g.Tasks))
+	slots := make([]Slot, 0, len(g.Tasks))
+	var makespan sim.Time
+	for _, id := range order {
+		t := g.Tasks[id]
+		pe := taskPE[id]
+		core := plat.Core(pe)
+		if !t.CanRunOn(core.Class) {
+			return 0, nil, fmt.Errorf("mapping: task %q cannot run on core %d (%v)", t.Name, pe, core.Class)
+		}
+		ready := sim.Time(0)
+		for _, p := range g.Preds(id) {
+			arr := finish[p]
+			if taskPE[p] != pe {
+				arr += plat.Fabric.EstLatency(taskPE[p], pe, g.InBytes(p, id))
+			}
+			if arr > ready {
+				ready = arr
+			}
+		}
+		start := ready
+		if peAvail[pe] > start {
+			start = peAvail[pe]
+		}
+		end := start + core.Cycles(t.CyclesOn(core.Class))
+		peAvail[pe] = end
+		finish[id] = end
+		slots = append(slots, Slot{Task: id, PE: pe, Start: start, Finish: end})
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan, slots, nil
+}
+
+// Map assigns g's tasks onto plat with the selected heuristic.
+func Map(g *taskgraph.Graph, plat *platform.Platform, opt Options) (*Assignment, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(plat.Cores) == 0 {
+		return nil, fmt.Errorf("mapping: platform has no cores")
+	}
+	for _, t := range g.Tasks {
+		if len(capable(g, plat, t)) == 0 {
+			return nil, fmt.Errorf("mapping: no core can run task %q", t.Name)
+		}
+	}
+	var taskPE []int
+	var err error
+	switch {
+	case opt.Objective == Throughput:
+		taskPE, err = throughputMap(g, plat)
+	case opt.Heuristic == List:
+		taskPE, err = listMap(g, plat)
+	case opt.Heuristic == Anneal:
+		taskPE, err = annealMap(g, plat, opt)
+	case opt.Heuristic == Exhaustive:
+		taskPE, err = exhaustiveMap(g, plat)
+	default:
+		return nil, fmt.Errorf("mapping: unknown heuristic %d", opt.Heuristic)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mk, slots, err := evaluate(g, plat, taskPE)
+	if err != nil {
+		return nil, err
+	}
+	return &Assignment{Graph: g, Platform: plat, TaskPE: taskPE, Schedule: slots, Makespan: mk}, nil
+}
+
+// listMap is HEFT-flavoured: rank tasks by upward rank (mean compute
+// plus mean communication to the exit), then greedily place each on
+// the core minimizing its earliest finish time.
+func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+	n := len(g.Tasks)
+	meanCycles := func(t *taskgraph.Task) float64 {
+		var sum float64
+		var cnt int
+		for _, c := range plat.Cores {
+			if t.CanRunOn(c.Class) {
+				sum += float64(t.CyclesOn(c.Class)) / float64(c.Hz()) * 1e12
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+	rank := make([]float64, n)
+	order, _ := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var best float64
+		for _, s := range g.Succs(id) {
+			comm := float64(plat.Fabric.EstLatency(0, len(plat.Cores)-1, g.InBytes(id, s)))
+			if r := rank[s] + comm; r > best {
+				best = r
+			}
+		}
+		rank[id] = meanCycles(g.Tasks[id]) + best
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		if rank[ids[a]] != rank[ids[b]] {
+			return rank[ids[a]] > rank[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+
+	taskPE := make([]int, n)
+	for i := range taskPE {
+		taskPE[i] = -1
+	}
+	peAvail := make([]sim.Time, len(plat.Cores))
+	finish := make([]sim.Time, n)
+	for _, id := range ids {
+		t := g.Tasks[id]
+		bestPE, bestEFT := -1, sim.Forever
+		for _, pe := range capable(g, plat, t) {
+			core := plat.Core(pe)
+			ready := sim.Time(0)
+			for _, p := range g.Preds(id) {
+				if taskPE[p] < 0 {
+					continue // predecessor not placed yet (rank order anomaly)
+				}
+				arr := finish[p]
+				if taskPE[p] != pe {
+					arr += plat.Fabric.EstLatency(taskPE[p], pe, g.InBytes(p, id))
+				}
+				if arr > ready {
+					ready = arr
+				}
+			}
+			start := ready
+			if peAvail[pe] > start {
+				start = peAvail[pe]
+			}
+			eft := start + core.Cycles(t.CyclesOn(core.Class))
+			if eft < bestEFT {
+				bestEFT = eft
+				bestPE = pe
+			}
+		}
+		taskPE[id] = bestPE
+		peAvail[bestPE] = bestEFT
+		finish[id] = bestEFT
+	}
+	return taskPE, nil
+}
+
+// throughputMap balances stage load across PEs (greedy LPT on
+// per-core execution time): the pipeline's steady-state period is the
+// most-loaded core, so minimizing the maximum load maximizes
+// throughput.
+func throughputMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+	n := len(g.Tasks)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	weight := func(id int) int64 {
+		var w int64
+		for _, c := range plat.Cores {
+			if g.Tasks[id].CanRunOn(c.Class) {
+				t := int64(plat.Cores[c.ID].Cycles(g.Tasks[id].CyclesOn(c.Class)))
+				if w == 0 || t < w {
+					w = t
+				}
+			}
+		}
+		return w
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return weight(ids[a]) > weight(ids[b]) })
+	load := make([]sim.Time, len(plat.Cores))
+	taskPE := make([]int, n)
+	for _, id := range ids {
+		bestPE := -1
+		var bestLoad sim.Time = sim.Forever
+		for _, pe := range capable(g, plat, g.Tasks[id]) {
+			core := plat.Core(pe)
+			l := load[pe] + core.Cycles(g.Tasks[id].CyclesOn(core.Class))
+			if l < bestLoad {
+				bestLoad = l
+				bestPE = pe
+			}
+		}
+		taskPE[id] = bestPE
+		load[bestPE] = bestLoad
+	}
+	return taskPE, nil
+}
+
+// annealMap refines the list mapping with simulated annealing over
+// task moves; deterministic under Options.Seed.
+func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int, error) {
+	cur, err := listMap(g, plat)
+	if err != nil {
+		return nil, err
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = 2000
+	}
+	rng := xrand.New(opt.Seed + 1)
+	cost := func(assign []int) sim.Time {
+		mk, _, err := evaluate(g, plat, assign)
+		if err != nil {
+			return sim.Forever
+		}
+		return mk
+	}
+	curCost := cost(cur)
+	best := append([]int{}, cur...)
+	bestCost := curCost
+	temp := float64(curCost)
+	for i := 0; i < iters; i++ {
+		tIdx := rng.Intn(len(g.Tasks))
+		cands := capable(g, plat, g.Tasks[tIdx])
+		next := append([]int{}, cur...)
+		next[tIdx] = cands[rng.Intn(len(cands))]
+		nc := cost(next)
+		dE := float64(nc - curCost)
+		if dE <= 0 || rng.Float64() < math.Exp(-dE/math.Max(temp, 1)) {
+			cur, curCost = next, nc
+			if curCost < bestCost {
+				best = append([]int{}, cur...)
+				bestCost = curCost
+			}
+		}
+		temp *= 0.995
+	}
+	return best, nil
+}
+
+// exhaustiveMap enumerates all feasible assignments; guarded to small
+// instances (the paper's exploration loop for design studies).
+func exhaustiveMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+	n := len(g.Tasks)
+	cands := make([][]int, n)
+	space := 1
+	for i, t := range g.Tasks {
+		cands[i] = capable(g, plat, t)
+		space *= len(cands[i])
+		if space > 500_000 {
+			return nil, fmt.Errorf("mapping: exhaustive search space too large (>500k); use list or anneal")
+		}
+	}
+	assign := make([]int, n)
+	best := make([]int, n)
+	bestCost := sim.Forever
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			mk, _, err := evaluate(g, plat, assign)
+			if err == nil && mk < bestCost {
+				bestCost = mk
+				copy(best, assign)
+			}
+			return
+		}
+		for _, pe := range cands[i] {
+			assign[i] = pe
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if bestCost == sim.Forever {
+		return nil, fmt.Errorf("mapping: no feasible assignment")
+	}
+	return best, nil
+}
+
+// Validate checks schedule sanity: no PE runs two tasks at once and
+// every dependence finishes before its consumer starts.
+func (a *Assignment) Validate() error {
+	byPE := map[int][]Slot{}
+	byTask := make([]Slot, len(a.Graph.Tasks))
+	for _, s := range a.Schedule {
+		byPE[s.PE] = append(byPE[s.PE], s)
+		byTask[s.Task] = s
+	}
+	for pe, slots := range byPE {
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Start < slots[j].Start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].Start < slots[i-1].Finish {
+				return fmt.Errorf("mapping: PE %d overlaps tasks %d and %d", pe, slots[i-1].Task, slots[i].Task)
+			}
+		}
+	}
+	for _, e := range a.Graph.Edges {
+		if byTask[e.To].Start < byTask[e.From].Finish {
+			return fmt.Errorf("mapping: task %d starts before producer %d finishes", e.To, e.From)
+		}
+	}
+	return nil
+}
+
+// FeasibleWithin reports whether the schedule fits a period/deadline.
+func (a *Assignment) FeasibleWithin(deadline sim.Time) bool {
+	return a.Makespan <= deadline
+}
+
+// Gantt renders the schedule as text for reports.
+func (a *Assignment) Gantt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule on %s (makespan %v):\n", a.Platform.Name, a.Makespan)
+	byPE := map[int][]Slot{}
+	for _, s := range a.Schedule {
+		byPE[s.PE] = append(byPE[s.PE], s)
+	}
+	var pes []int
+	for pe := range byPE {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		slots := byPE[pe]
+		sort.Slice(slots, func(i, j int) bool { return slots[i].Start < slots[j].Start })
+		fmt.Fprintf(&b, "  %-8s:", a.Platform.Core(pe).Name)
+		for _, s := range slots {
+			fmt.Fprintf(&b, " [%s %v..%v]", a.Graph.Tasks[s.Task].Name, s.Start, s.Finish)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Execute runs the assignment on the event-driven platform model with
+// genuine fabric contention (transfers share links) — the high-level
+// "virtual platform" simulation of section IV. It uses the platform's
+// kernel, which must be otherwise idle, and returns the measured
+// makespan.
+func Execute(a *Assignment) (sim.Time, error) {
+	k := a.Platform.Kernel
+	if k == nil {
+		return 0, fmt.Errorf("mapping: platform has no kernel")
+	}
+	g := a.Graph
+	n := len(g.Tasks)
+	pending := make([]int, n) // unarrived inputs
+	for _, e := range g.Edges {
+		pending[e.To]++
+	}
+	peRes := make([]*sim.Resource, len(a.Platform.Cores))
+	for i := range peRes {
+		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
+	}
+	var makespan sim.Time
+	done := 0
+	var runTask func(id int)
+	deliver := func(id int) {
+		pending[id]--
+		if pending[id] == 0 {
+			runTask(id)
+		}
+	}
+	runTask = func(id int) {
+		k.Spawn(g.Tasks[id].Name, func(p *sim.Proc) {
+			pe := a.TaskPE[id]
+			core := a.Platform.Core(pe)
+			peRes[pe].Acquire(p)
+			p.Delay(core.Cycles(g.Tasks[id].CyclesOn(core.Class)))
+			peRes[pe].Release()
+			if p.Now() > makespan {
+				makespan = p.Now()
+			}
+			done++
+			for _, e := range g.Edges {
+				if e.From != id {
+					continue
+				}
+				to := e.To
+				if a.TaskPE[to] == pe {
+					k.Schedule(0, func() { deliver(to) })
+				} else {
+					a.Platform.Fabric.Transfer(pe, a.TaskPE[to], e.Bytes, func() {
+						if k.Now() > makespan {
+							makespan = k.Now()
+						}
+						deliver(to)
+					})
+				}
+			}
+		})
+	}
+	for id := 0; id < n; id++ {
+		if pending[id] == 0 {
+			runTask(id)
+		}
+	}
+	k.Run()
+	if done != n {
+		return 0, fmt.Errorf("mapping: executed %d/%d tasks (deadlock?)", done, n)
+	}
+	return makespan, nil
+}
+
+// ExecutePipelined runs the mapped graph as a pipeline over
+// `iterations` successive data sets (frames, blocks): every task
+// fires once per iteration, consuming its predecessors' tokens for
+// the same iteration through depth-bounded FIFO channels. This is how
+// MAPS-mapped multimedia codecs actually earn their speedup — stage
+// parallelism across consecutive frames — and the measurement behind
+// the section IV "promising speedup results".
+func ExecutePipelined(a *Assignment, iterations int) (sim.Time, error) {
+	if iterations <= 0 {
+		return 0, fmt.Errorf("mapping: iterations must be positive")
+	}
+	k := a.Platform.Kernel
+	if k == nil {
+		return 0, fmt.Errorf("mapping: platform has no kernel")
+	}
+	g := a.Graph
+	queues := map[int]*sim.Queue{} // edge index -> token queue
+	for i, e := range g.Edges {
+		_ = e
+		queues[i] = k.NewQueue(fmt.Sprintf("e%d", i), 2)
+	}
+	peRes := make([]*sim.Resource, len(a.Platform.Cores))
+	for i := range peRes {
+		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
+	}
+	var makespan sim.Time
+	finished := 0
+	for id := range g.Tasks {
+		id := id
+		var inEdges, outEdges []int
+		for i, e := range g.Edges {
+			if e.To == id {
+				inEdges = append(inEdges, i)
+			}
+			if e.From == id {
+				outEdges = append(outEdges, i)
+			}
+		}
+		pe := a.TaskPE[id]
+		core := a.Platform.Core(pe)
+		cycles := g.Tasks[id].CyclesOn(core.Class)
+		k.Spawn(g.Tasks[id].Name, func(p *sim.Proc) {
+			for it := 0; it < iterations; it++ {
+				for _, ei := range inEdges {
+					queues[ei].Get(p)
+				}
+				peRes[pe].Acquire(p)
+				p.Delay(core.Cycles(cycles))
+				peRes[pe].Release()
+				for _, ei := range outEdges {
+					e := g.Edges[ei]
+					if a.TaskPE[e.To] != pe {
+						done := k.NewSignal()
+						a.Platform.Fabric.Transfer(pe, a.TaskPE[e.To], e.Bytes, func() { done.Broadcast() })
+						done.Wait(p)
+					}
+					queues[ei].Put(p, it)
+				}
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+			}
+			finished++
+		})
+	}
+	k.Run()
+	if finished != len(g.Tasks) {
+		return 0, fmt.Errorf("mapping: pipeline stalled (%d/%d tasks finished)", finished, len(g.Tasks))
+	}
+	return makespan, nil
+}

@@ -1,0 +1,155 @@
+package mapping
+
+import (
+	"testing"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+)
+
+func TestThroughputObjectiveSpreadsChain(t *testing.T) {
+	plat := wirelessPlat()
+	g := chainGraph(4, 1_000_000, 64)
+	a, err := Map(g, plat, Options{Objective: Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[int]bool{}
+	for _, pe := range a.TaskPE {
+		used[pe] = true
+	}
+	// The two double-speed DSPs holding two stages each is the
+	// balanced optimum; the mapper must at minimum not serialize.
+	if len(used) < 2 {
+		t.Fatalf("throughput mapping serialized the chain onto %d core", len(used))
+	}
+	// Bottleneck load must beat the best single core.
+	load := map[int]sim.Time{}
+	for id, pe := range a.TaskPE {
+		c := plat.Core(pe)
+		load[pe] += c.Cycles(g.Tasks[id].CyclesOn(c.Class))
+	}
+	var bottleneck sim.Time
+	for _, l := range load {
+		if l > bottleneck {
+			bottleneck = l
+		}
+	}
+	var bestSerial sim.Time = sim.Forever
+	for _, c := range plat.Cores {
+		var total sim.Time
+		ok := true
+		for _, task := range g.Tasks {
+			if !task.CanRunOn(c.Class) {
+				ok = false
+				break
+			}
+			total += c.Cycles(task.CyclesOn(c.Class))
+		}
+		if ok && total < bestSerial {
+			bestSerial = total
+		}
+	}
+	if bottleneck >= bestSerial {
+		t.Fatalf("bottleneck %v not better than serial %v", bottleneck, bestSerial)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedBeatsOneShotOnChain(t *testing.T) {
+	plat := wirelessPlat()
+	g := chainGraph(4, 1_000_000, 64)
+	a, err := Map(g, plat, Options{Objective: Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 16
+	pipelined, err := ExecutePipelined(a, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial lower bound: the whole chain on the single best core,
+	// iters times.
+	var serial sim.Time = sim.Forever
+	for _, c := range plat.Cores {
+		var total sim.Time
+		ok := true
+		for _, task := range g.Tasks {
+			if !task.CanRunOn(c.Class) {
+				ok = false
+				break
+			}
+			total += c.Cycles(task.CyclesOn(c.Class))
+		}
+		if ok && total < serial {
+			serial = total
+		}
+	}
+	serialAll := serial * iters
+	if pipelined >= serialAll {
+		t.Fatalf("pipelined %v not faster than serial %v", pipelined, serialAll)
+	}
+	// Speedup bounded by stage count.
+	speedup := float64(serialAll) / float64(pipelined)
+	if speedup > float64(len(g.Tasks))+0.5 {
+		t.Fatalf("speedup %.2f exceeds stage bound", speedup)
+	}
+}
+
+func TestPipelinedSingleIterationMatchesDAGShape(t *testing.T) {
+	plat := wirelessPlat()
+	g := chainGraph(3, 500_000, 32)
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := ExecutePipelined(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one <= 0 {
+		t.Fatal("no makespan")
+	}
+	if _, err := ExecutePipelined(a, 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestPipelinedForkJoin(t *testing.T) {
+	plat := wirelessPlat()
+	g := forkJoin(3, 400_000)
+	a, err := Map(g, plat, Options{Objective: Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := ExecutePipelined(a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk <= 0 {
+		t.Fatal("fork-join pipeline failed")
+	}
+}
+
+func TestThroughputHonorsCapability(t *testing.T) {
+	plat := wirelessPlat()
+	g := taskgraph.NewGraph("dsponly")
+	for i := 0; i < 3; i++ {
+		g.AddTask(&taskgraph.Task{
+			Name: "t",
+			WCET: map[platform.PEClass]int64{platform.DSP: 1000},
+		})
+	}
+	a, err := Map(g, plat, Options{Objective: Throughput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pe := range a.TaskPE {
+		if plat.Core(pe).Class != platform.DSP {
+			t.Fatal("task placed on incapable core")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package osip
+
+import "testing"
+
+func TestOSIPBeatsRISCAtFineGranularity(t *testing.T) {
+	risc, osip, err := Compare(8, 2000, 1000) // 1k-cycle tasks: very fine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osip.Utilization() <= risc.Utilization() {
+		t.Fatalf("OSIP utilization %.3f not above RISC %.3f at fine granularity",
+			osip.Utilization(), risc.Utilization())
+	}
+	if osip.Makespan >= risc.Makespan {
+		t.Fatalf("OSIP makespan %v not below RISC %v", osip.Makespan, risc.Makespan)
+	}
+}
+
+func TestGapShrinksAtCoarseGranularity(t *testing.T) {
+	fineR, fineO, err := Compare(8, 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseR, coarseO, err := Compare(8, 500, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineGap := fineO.Utilization() - fineR.Utilization()
+	coarseGap := coarseO.Utilization() - coarseR.Utilization()
+	if coarseGap >= fineGap {
+		t.Fatalf("OSIP advantage should shrink with coarser tasks: fine %.3f coarse %.3f",
+			fineGap, coarseGap)
+	}
+	// Both near-full utilization on coarse tasks.
+	if coarseR.Utilization() < 0.9 || coarseO.Utilization() < 0.9 {
+		t.Fatalf("coarse-grain utilizations too low: %.3f / %.3f",
+			coarseR.Utilization(), coarseO.Utilization())
+	}
+}
+
+func TestAllTasksDispatched(t *testing.T) {
+	r, err := Simulate(DefaultConfig(OSIP, 4, 333, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dispatches != 333 {
+		t.Fatalf("dispatched %d/333", r.Dispatches)
+	}
+	if r.Utilization() <= 0 || r.Utilization() > 1 {
+		t.Fatalf("utilization %g out of range", r.Utilization())
+	}
+}
+
+func TestDispatcherSerializesUnderContention(t *testing.T) {
+	// Many workers on tiny tasks: the software dispatcher becomes the
+	// bottleneck and utilization collapses.
+	r, err := Simulate(DefaultConfig(RISCSoftware, 16, 2000, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization() > 0.5 {
+		t.Fatalf("expected dispatcher bottleneck, utilization %.3f", r.Utilization())
+	}
+	if r.DispatchWait == 0 {
+		t.Fatal("dispatch wait not accounted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Workers: 1, Tasks: 0, TaskCycles: 1, WorkerHz: 1, DispatcherHz: 1},
+		{Workers: 1, Tasks: 1, TaskCycles: 1, WorkerHz: 0, DispatcherHz: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Simulate(DefaultConfig(OSIP, 8, 100, 5000))
+	b, _ := Simulate(DefaultConfig(OSIP, 8, 100, 5000))
+	if a.Makespan != b.Makespan || a.DispatchWait != b.DispatchWait {
+		t.Fatal("simulation not deterministic")
+	}
+}

@@ -1,0 +1,300 @@
+// Package recode implements the designer-controlled Source Recoder of
+// the paper's section VI (Chandraiah & Dömer): an interactive set of
+// AST-level transformations that restructure a sequential C-subset
+// model into a parallel, analyzable, flexible specification. The
+// designer chains transformations ("split loops into code partitions,
+// analyze shared data accesses, split vectors of shared data,
+// localize variable accesses, and finally synchronize accesses to
+// shared data by inserting communication channels"); the tool keeps
+// the AST and the source text in sync and journals every action for
+// the productivity accounting of experiment E10.
+//
+// Unlike a batch compiler, every transformation here is invoked
+// explicitly, may refuse with a legality explanation, and its effect
+// is immediately visible as regenerated source — the paper's
+// "designer-controlled" middle road between manual editing and
+// automatic parallelization.
+package recode
+
+import (
+	"fmt"
+	"strings"
+
+	"mpsockit/internal/cir"
+	"mpsockit/internal/dfa"
+)
+
+// Op is one journal entry: a designer action and its effect size.
+type Op struct {
+	Name   string
+	Target string
+	Detail string
+	// LinesTouched is how many source lines changed — the manual-edit
+	// volume the action replaced.
+	LinesTouched int
+}
+
+// Recoder holds the working AST, the journal, and chunk metadata that
+// lets later transformations (vector splitting) understand earlier
+// ones (loop splitting).
+type Recoder struct {
+	Prog    *cir.Program
+	Journal []Op
+	// chunks records, per generated task function, the iteration
+	// chunk it owns: [lo, hi) over the original index space.
+	chunks map[string][2]int64
+}
+
+// New parses src into a recoder session.
+func New(src string) (*Recoder, error) {
+	prog, err := cir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Recoder{Prog: prog, chunks: map[string][2]int64{}}, nil
+}
+
+// Source regenerates the current source text (the Code Generator of
+// the paper's figure 3).
+func (r *Recoder) Source() string { return cir.Print(r.Prog) }
+
+// reparse round-trips the AST through the printer/parser to re-run
+// the semantic checker after a transformation.
+func (r *Recoder) reparse() error {
+	p, err := cir.Parse(r.Source())
+	if err != nil {
+		return fmt.Errorf("recode: transformation produced invalid code: %w", err)
+	}
+	r.Prog = p
+	return nil
+}
+
+// log journals an op, measuring its touched lines as the symmetric
+// line difference between before and after.
+func (r *Recoder) log(name, target, detail, before string) {
+	after := r.Source()
+	r.Journal = append(r.Journal, Op{
+		Name: name, Target: target, Detail: detail,
+		LinesTouched: diffLines(before, after),
+	})
+}
+
+// diffLines counts lines present in exactly one of the two sources
+// (multiset symmetric difference) — a proxy for hand-edit volume.
+func diffLines(a, b string) int {
+	count := map[string]int{}
+	for _, ln := range strings.Split(a, "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			count[ln]++
+		}
+	}
+	for _, ln := range strings.Split(b, "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			count[ln]--
+		}
+	}
+	d := 0
+	for _, c := range count {
+		if c < 0 {
+			c = -c
+		}
+		d += c
+	}
+	return d
+}
+
+// ManualEditEstimate sums the journal's touched lines: what the
+// designer would have edited by hand.
+func (r *Recoder) ManualEditEstimate() int {
+	total := 0
+	for _, op := range r.Journal {
+		total += op.LinesTouched
+	}
+	return total
+}
+
+// ProductivityFactor is manual edit lines per designer action — the
+// experiment E10 metric ("productivity gains up to two orders of
+// magnitude over manual recoding").
+func (r *Recoder) ProductivityFactor() float64 {
+	if len(r.Journal) == 0 {
+		return 0
+	}
+	return float64(r.ManualEditEstimate()) / float64(len(r.Journal))
+}
+
+// findLoop locates the idx-th for-loop (pre-order) in fn.
+func (r *Recoder) findLoop(fnName string, idx int) (*cir.FuncDecl, *cir.ForStmt, error) {
+	fn := r.Prog.Func(fnName)
+	if fn == nil {
+		return nil, nil, fmt.Errorf("recode: no function %q", fnName)
+	}
+	loops := dfa.FindLoops(fn)
+	if idx < 0 || idx >= len(loops) {
+		return nil, nil, fmt.Errorf("recode: %q has %d loops, no index %d", fnName, len(loops), idx)
+	}
+	return fn, loops[idx], nil
+}
+
+// AnalyzeShared reports the shared-data picture of a function: which
+// variables flow between its top-level statements (the paper's
+// "analyze shared data accesses" step). Purely informative; it never
+// modifies code and is not journaled.
+func (r *Recoder) AnalyzeShared(fnName string) (string, error) {
+	fn := r.Prog.Func(fnName)
+	if fn == nil {
+		return "", fmt.Errorf("recode: no function %q", fnName)
+	}
+	g := dfa.BuildDepGraph(fn)
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared-data analysis of %s:\n", fnName)
+	for _, e := range g.FlowDeps() {
+		fmt.Fprintf(&b, "  S%d -> S%d share %v\n", e.From, e.To, e.Vars)
+	}
+	for i := range g.Stmts {
+		info := ""
+		if loop, ok := g.Stmts[i].(*cir.ForStmt); ok {
+			li := dfa.AnalyzeLoop(r.Prog, loop)
+			if li.Parallel {
+				info = " [parallelizable]"
+			} else {
+				info = " [serial: " + li.Reason + "]"
+			}
+		}
+		fmt.Fprintf(&b, "  S%d reads %v writes %v%s\n", i,
+			g.RW[i].Vars(), keys(g.RW[i].Writes), info)
+	}
+	return b.String(), nil
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic order for reports.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// SplitLoop splits a canonical loop in place into k consecutive
+// chunk loops over sub-ranges (exposing data parallelism while
+// keeping sequential semantics). Legality: the dependence test of
+// internal/dfa must pass.
+func (r *Recoder) SplitLoop(fnName string, loopIdx, k int) error {
+	if k < 2 {
+		return fmt.Errorf("recode: split factor must be >= 2")
+	}
+	before := r.Source()
+	fn, loop, err := r.findLoop(fnName, loopIdx)
+	if err != nil {
+		return err
+	}
+	info := dfa.AnalyzeLoop(r.Prog, loop)
+	if !info.Parallel {
+		return fmt.Errorf("recode: loop is not splittable: %s", info.Reason)
+	}
+	lo, hi, step, ok := cir.LoopBounds(loop)
+	if !ok {
+		return fmt.Errorf("recode: loop bounds are not literal constants")
+	}
+	pieces, err := chunkLoops(loop, lo, hi, step, k, "")
+	if err != nil {
+		return err
+	}
+	if !replaceStmt(fn.Body, loop, pieces) {
+		return fmt.Errorf("recode: loop is not a replaceable statement (nested too deep?)")
+	}
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("split-loop", fmt.Sprintf("%s#%d", fnName, loopIdx), fmt.Sprintf("k=%d", k), before)
+	return nil
+}
+
+// chunkLoops builds k copies of loop over [lo,hi) chunks. When
+// idxSuffix is non-empty the induction variable is renamed per chunk
+// (needed when chunks land in separate functions sharing globals).
+func chunkLoops(loop *cir.ForStmt, lo, hi, step int64, k int, idxSuffix string) ([]cir.Stmt, error) {
+	iv := cir.LoopIndexVar(loop)
+	if iv == "" {
+		return nil, fmt.Errorf("recode: loop has no induction variable")
+	}
+	total := hi - lo
+	chunk := (total + int64(k) - 1) / int64(k)
+	// Round chunk up to a multiple of step so splits respect strides.
+	if rem := chunk % step; rem != 0 {
+		chunk += step - rem
+	}
+	var out []cir.Stmt
+	for t := 0; t < k; t++ {
+		clo := lo + int64(t)*chunk
+		chi := clo + chunk
+		if chi > hi {
+			chi = hi
+		}
+		if clo >= hi {
+			break
+		}
+		cp := cir.CloneStmt(loop).(*cir.ForStmt)
+		setLoopBounds(cp, clo, chi)
+		out = append(out, cp)
+		_ = idxSuffix
+	}
+	return out, nil
+}
+
+// setLoopBounds rewrites a canonical loop's literal bounds.
+func setLoopBounds(loop *cir.ForStmt, lo, hi int64) {
+	switch init := loop.Init.(type) {
+	case *cir.AssignStmt:
+		init.RHS = &cir.IntLit{Line: init.Pos(), Val: lo}
+	case *cir.DeclStmt:
+		init.Decl.Init = &cir.IntLit{Line: init.Pos(), Val: lo}
+	}
+	if cond, ok := loop.Cond.(*cir.BinaryExpr); ok {
+		cond.Op = "<"
+		cond.R = &cir.IntLit{Line: cond.Line, Val: hi}
+	}
+}
+
+// replaceStmt substitutes old with news in a block tree.
+func replaceStmt(b *cir.Block, old cir.Stmt, news []cir.Stmt) bool {
+	for i, s := range b.Stmts {
+		if s == old {
+			rest := append([]cir.Stmt{}, b.Stmts[i+1:]...)
+			b.Stmts = append(b.Stmts[:i], append(news, rest...)...)
+			return true
+		}
+		switch x := s.(type) {
+		case *cir.Block:
+			if replaceStmt(x, old, news) {
+				return true
+			}
+		case *cir.IfStmt:
+			if replaceStmt(x.Then, old, news) {
+				return true
+			}
+			if x.Else != nil && replaceStmt(x.Else, old, news) {
+				return true
+			}
+		case *cir.WhileStmt:
+			if replaceStmt(x.Body, old, news) {
+				return true
+			}
+		case *cir.ForStmt:
+			if replaceStmt(x.Body, old, news) {
+				return true
+			}
+		}
+	}
+	return false
+}

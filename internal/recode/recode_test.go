@@ -1,0 +1,402 @@
+package recode
+
+import (
+	"strings"
+	"testing"
+
+	"mpsockit/internal/cir"
+)
+
+// runMain interprets a source's main() and returns the print stream.
+func runMain(t *testing.T, src string) []int64 {
+	t.Helper()
+	prog, err := cir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	in, err := cir.NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return in.Output
+}
+
+// mustPreserve checks the recoder session still computes the same
+// print stream as the original source.
+func mustPreserve(t *testing.T, original string, r *Recoder) {
+	t.Helper()
+	want := runMain(t, original)
+	got := runMain(t, r.Source())
+	if len(want) != len(got) {
+		t.Fatalf("output length changed: %d -> %d\nafter:\n%s", len(want), len(got), r.Source())
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("output[%d] changed: %d -> %d\nafter:\n%s", i, want[i], got[i], r.Source())
+		}
+	}
+}
+
+const sumSrc = `
+	int data[64];
+	int total;
+	void main() {
+		for (int i = 0; i < 64; i++) {
+			data[i] = i * 3 - 32;
+		}
+		total = 0;
+		for (int i = 0; i < 64; i++) {
+			total += data[i];
+		}
+		print(total);
+	}
+`
+
+func TestSplitLoopPreservesSemantics(t *testing.T) {
+	r, err := New(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SplitLoop("main", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, sumSrc, r)
+	// Four chunk loops replaced one.
+	if n := strings.Count(r.Source(), "for ("); n != 5 {
+		t.Fatalf("expected 5 loops after split, got %d:\n%s", n, r.Source())
+	}
+	if len(r.Journal) != 1 || r.Journal[0].Name != "split-loop" {
+		t.Fatalf("journal = %+v", r.Journal)
+	}
+	if r.Journal[0].LinesTouched == 0 {
+		t.Fatal("no lines accounted")
+	}
+}
+
+func TestSplitLoopUnevenBounds(t *testing.T) {
+	src := `
+		int a[10];
+		void main() {
+			for (int i = 0; i < 10; i++) { a[i] = i * i; }
+			for (int i = 0; i < 10; i++) { print(a[i]); }
+		}
+	`
+	r, _ := New(src)
+	if err := r.SplitLoop("main", 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+}
+
+func TestSplitLoopRejectsCarriedDependence(t *testing.T) {
+	src := `
+		int a[16];
+		void main() {
+			a[0] = 1;
+			for (int i = 1; i < 16; i++) { a[i] = a[i - 1] * 2; }
+			print(a[15]);
+		}
+	`
+	r, _ := New(src)
+	if err := r.SplitLoop("main", 0, 2); err == nil {
+		t.Fatal("carried dependence not rejected")
+	}
+	// Source must be untouched after a refused transformation.
+	mustPreserve(t, src, r)
+	if len(r.Journal) != 0 {
+		t.Fatal("refused op was journaled")
+	}
+}
+
+func TestSplitLoopToTasksWithReduction(t *testing.T) {
+	r, err := New(sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the reduction loop (index 1) into 4 tasks.
+	if err := r.SplitLoopToTasks("main", 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, sumSrc, r)
+	src := r.Source()
+	for _, want := range []string{"main_part0", "main_part3", "total_part"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("missing %q in:\n%s", want, src)
+		}
+	}
+	if len(r.chunks) != 4 {
+		t.Fatalf("chunks = %v", r.chunks)
+	}
+}
+
+func TestSplitLoopToTasksPrivateScalar(t *testing.T) {
+	src := `
+		int a[32];
+		int b[32];
+		int tmp;
+		void main() {
+			for (int i = 0; i < 32; i++) { a[i] = i; }
+			for (int i = 0; i < 32; i++) {
+				tmp = a[i] * 2;
+				b[i] = tmp + 1;
+			}
+			print(b[31]);
+			print(b[0]);
+		}
+	`
+	r, _ := New(src)
+	if err := r.SplitLoopToTasks("main", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	// The private temp must be declared inside the task functions.
+	if !strings.Contains(r.Source(), "main_part0") {
+		t.Fatal("tasks not created")
+	}
+}
+
+func TestSplitVectorAfterTaskSplit(t *testing.T) {
+	src := `
+		int mid[40];
+		int outv[40];
+		void main() {
+			for (int i = 0; i < 40; i++) { mid[i] = i * 7; }
+			for (int i = 0; i < 40; i++) { outv[i] = mid[i] + 1; }
+			int s = 0;
+			for (int i = 0; i < 40; i++) { s += outv[i]; }
+			print(s);
+		}
+	`
+	r, _ := New(src)
+	// Split producer and consumer loops with matching chunks.
+	if err := r.SplitLoopToTasks("main", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SplitLoopToTasks("main", 0, 2); err != nil { // next remaining loop
+		t.Fatal(err)
+	}
+	// mid is now only touched by split tasks: vector split is legal.
+	if err := r.SplitVector("mid"); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	if strings.Contains(r.Source(), "int mid[40]") {
+		t.Fatalf("original vector not removed:\n%s", r.Source())
+	}
+	if !strings.Contains(r.Source(), "mid_0") || !strings.Contains(r.Source(), "mid_1") {
+		t.Fatalf("split vectors missing:\n%s", r.Source())
+	}
+}
+
+func TestSplitVectorRejectsSharedUse(t *testing.T) {
+	r, _ := New(sumSrc)
+	// data is used by main directly; not legal to split.
+	if err := r.SplitVector("data"); err == nil {
+		t.Fatal("shared vector split accepted")
+	}
+}
+
+func TestLocalizeVariable(t *testing.T) {
+	src := `
+		int scratch;
+		int out[8];
+		void compute() {
+			scratch = 5;
+			for (int i = 0; i < 8; i++) { out[i] = scratch + i; }
+		}
+		void main() {
+			compute();
+			print(out[7]);
+		}
+	`
+	r, _ := New(src)
+	if err := r.LocalizeVariable("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	if strings.Contains(strings.Split(r.Source(), "void")[0], "scratch") {
+		t.Fatalf("scratch still global:\n%s", r.Source())
+	}
+}
+
+func TestLocalizeRejectsSharedGlobal(t *testing.T) {
+	src := `
+		int shared;
+		void a() { shared = 1; }
+		void b() { print(shared); }
+		void main() { a(); b(); }
+	`
+	r, _ := New(src)
+	if err := r.LocalizeVariable("shared"); err == nil {
+		t.Fatal("cross-function global localized")
+	}
+}
+
+func TestInsertChannel(t *testing.T) {
+	src := `
+		int buf[16];
+		void producer() {
+			for (int i = 0; i < 16; i++) { buf[i] = i * i; }
+		}
+		void consumer() {
+			for (int i = 0; i < 16; i++) { print(buf[i] + 1); }
+		}
+		void main() {
+			producer();
+			consumer();
+		}
+	`
+	r, _ := New(src)
+	if err := r.InsertChannel("producer", "consumer", "buf", 5); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	out := r.Source()
+	if !strings.Contains(out, "chan_send(5,") || !strings.Contains(out, "chan_recv(5)") {
+		t.Fatalf("channel ops missing:\n%s", out)
+	}
+	if strings.Contains(out, "int buf[16]") {
+		t.Fatalf("dead shared buffer kept:\n%s", out)
+	}
+}
+
+func TestInsertChannelRejectsNonParticipants(t *testing.T) {
+	r, _ := New(sumSrc)
+	if err := r.InsertChannel("main", "main", "nothere", 1); err == nil {
+		t.Fatal("bogus channel insertion accepted")
+	}
+}
+
+func TestRecodePointers(t *testing.T) {
+	src := `
+		int v[8];
+		void fill(int *p, int n) {
+			for (int i = 0; i < 8; i++) {
+				*(p + i) = i * 4;
+			}
+		}
+		void main() {
+			fill(v, 8);
+			int *q = &v[3];
+			print(*q);
+		}
+	`
+	r, _ := New(src)
+	if err := r.RecodePointers("fill"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RecodePointers("main"); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	out := r.Source()
+	if strings.Contains(out, "*(p + i)") {
+		t.Fatalf("pointer expression survived:\n%s", out)
+	}
+	if !strings.Contains(out, "p[i]") || !strings.Contains(out, "q[0]") {
+		t.Fatalf("indexing not synthesized:\n%s", out)
+	}
+}
+
+func TestPruneControl(t *testing.T) {
+	src := `
+		void main() {
+			int x = 0;
+			if (1) {
+				x = 3 * 4 + 2;
+			} else {
+				x = 99;
+			}
+			if (0) {
+				x = 1000;
+			}
+			print(x);
+		}
+	`
+	r, _ := New(src)
+	if err := r.PruneControl("main"); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	out := r.Source()
+	if strings.Contains(out, "if (1)") || strings.Contains(out, "if (0)") || strings.Contains(out, "99") {
+		t.Fatalf("dead branches survived:\n%s", out)
+	}
+	if !strings.Contains(out, "14") {
+		t.Fatalf("constant not folded:\n%s", out)
+	}
+}
+
+// TestFullRecodingChain drives the complete section VI workflow the
+// paper sketches and checks behaviour preservation end to end.
+func TestFullRecodingChain(t *testing.T) {
+	src := `
+		int raw[48];
+		int mid[48];
+		int total;
+		void main() {
+			for (int i = 0; i < 48; i++) {
+				raw[i] = i * 5 - 7;
+			}
+			for (int i = 0; i < 48; i++) {
+				mid[i] = abs(raw[i]) + 3;
+			}
+			total = 0;
+			for (int i = 0; i < 48; i++) {
+				total += mid[i];
+			}
+			print(total);
+		}
+	`
+	r, err := New(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. Understand the sharing structure.
+	report, err := r.AnalyzeShared("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "parallelizable") {
+		t.Fatalf("analysis found no parallelism:\n%s", report)
+	}
+	// 2-4. Partition the three loops into tasks.
+	if err := r.SplitLoopToTasks("main", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SplitLoopToTasks("main", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SplitLoopToTasks("main", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// 5. Split the now task-private intermediate vectors.
+	if err := r.SplitVector("mid"); err != nil {
+		t.Fatal(err)
+	}
+	mustPreserve(t, src, r)
+	if len(r.Journal) != 4 {
+		t.Fatalf("journal = %+v", r.Journal)
+	}
+	if r.ManualEditEstimate() < 20 {
+		t.Fatalf("manual estimate suspiciously low: %d", r.ManualEditEstimate())
+	}
+	if r.ProductivityFactor() < 5 {
+		t.Fatalf("productivity factor %g too low", r.ProductivityFactor())
+	}
+}
+
+func TestJournalAccounting(t *testing.T) {
+	r, _ := New(sumSrc)
+	_ = r.SplitLoop("main", 0, 2)
+	_ = r.SplitLoop("main", 2, 2)
+	if len(r.Journal) != 2 {
+		t.Fatalf("journal length %d", len(r.Journal))
+	}
+	if r.ManualEditEstimate() <= 0 || r.ProductivityFactor() <= 0 {
+		t.Fatal("accounting empty")
+	}
+}

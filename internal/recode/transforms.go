@@ -1,0 +1,676 @@
+package recode
+
+import (
+	"fmt"
+	"strings"
+
+	"mpsockit/internal/cir"
+	"mpsockit/internal/dfa"
+)
+
+// mapExpr rewrites every expression in a statement tree bottom-up.
+func mapExpr(s cir.Stmt, f func(cir.Expr) cir.Expr) {
+	var me func(cir.Expr) cir.Expr
+	me = func(e cir.Expr) cir.Expr {
+		switch x := e.(type) {
+		case *cir.IndexExpr:
+			x.Base = me(x.Base)
+			x.Idx = me(x.Idx)
+		case *cir.UnaryExpr:
+			x.X = me(x.X)
+		case *cir.BinaryExpr:
+			x.L = me(x.L)
+			x.R = me(x.R)
+		case *cir.CallExpr:
+			for i := range x.Args {
+				x.Args[i] = me(x.Args[i])
+			}
+		}
+		return f(e)
+	}
+	var ms func(cir.Stmt)
+	ms = func(s cir.Stmt) {
+		switch x := s.(type) {
+		case *cir.Block:
+			for _, st := range x.Stmts {
+				ms(st)
+			}
+		case *cir.DeclStmt:
+			if x.Decl.Init != nil {
+				x.Decl.Init = me(x.Decl.Init)
+			}
+		case *cir.AssignStmt:
+			x.LHS = me(x.LHS)
+			x.RHS = me(x.RHS)
+		case *cir.IfStmt:
+			x.Cond = me(x.Cond)
+			ms(x.Then)
+			if x.Else != nil {
+				ms(x.Else)
+			}
+		case *cir.WhileStmt:
+			x.Cond = me(x.Cond)
+			ms(x.Body)
+		case *cir.ForStmt:
+			if x.Init != nil {
+				ms(x.Init)
+			}
+			if x.Cond != nil {
+				x.Cond = me(x.Cond)
+			}
+			if x.Post != nil {
+				ms(x.Post)
+			}
+			ms(x.Body)
+		case *cir.ReturnStmt:
+			if x.Val != nil {
+				x.Val = me(x.Val)
+			}
+		case *cir.ExprStmt:
+			x.X = me(x.X)
+		}
+	}
+	ms(s)
+}
+
+// SplitLoopToTasks outlines a parallelizable top-level loop of fnName
+// into k task functions <fn>_part0..k-1, each owning one chunk of the
+// iteration space; reductions become per-task partials combined at
+// the join. This is the paper's "split loops into code partitions"
+// expressed as a single designer action.
+func (r *Recoder) SplitLoopToTasks(fnName string, loopIdx, k int) error {
+	if k < 2 {
+		return fmt.Errorf("recode: split factor must be >= 2")
+	}
+	before := r.Source()
+	fn, loop, err := r.findLoop(fnName, loopIdx)
+	if err != nil {
+		return err
+	}
+	// Must be a top-level statement of fn for outlining.
+	topIdx := -1
+	for i, s := range fn.Body.Stmts {
+		if s == loop {
+			topIdx = i
+		}
+	}
+	if topIdx < 0 {
+		return fmt.Errorf("recode: loop must be a top-level statement to outline")
+	}
+	info := dfa.AnalyzeLoop(r.Prog, loop)
+	if !info.Parallel {
+		return fmt.Errorf("recode: loop is not partitionable: %s", info.Reason)
+	}
+	lo, hi, step, ok := cir.LoopBounds(loop)
+	if !ok {
+		return fmt.Errorf("recode: loop bounds are not literal constants")
+	}
+	// Arrays touched must be globals (task functions can only reach
+	// globals).
+	globals := map[string]bool{}
+	for _, g := range r.Prog.Globals {
+		globals[g.Name] = true
+	}
+	for _, arr := range append(append([]string{}, info.ArraysRead...), info.ArraysWritten...) {
+		if !globals[arr] {
+			return fmt.Errorf("recode: array %q must be global to outline the loop", arr)
+		}
+	}
+
+	pieces, err := chunkLoops(loop, lo, hi, step, k, "")
+	if err != nil {
+		return err
+	}
+	// Per-reduction partial arrays.
+	var preStmts, postStmts []cir.Stmt
+	for _, red := range info.Reductions {
+		part := red + "_part"
+		r.Prog.Globals = append(r.Prog.Globals, &cir.VarDecl{Name: part, ArrayN: k})
+		op := reductionOp(loop.Body, red)
+		initVal := int64(0)
+		if op == "*=" {
+			initVal = 1
+		}
+		for t := 0; t < len(pieces); t++ {
+			preStmts = append(preStmts, &cir.AssignStmt{
+				LHS: &cir.IndexExpr{Base: &cir.Ident{Name: part}, Idx: &cir.IntLit{Val: int64(t)}},
+				Op:  "=", RHS: &cir.IntLit{Val: initVal},
+			})
+			postStmts = append(postStmts, &cir.AssignStmt{
+				LHS: &cir.Ident{Name: red},
+				Op:  op,
+				RHS: &cir.IndexExpr{Base: &cir.Ident{Name: part}, Idx: &cir.IntLit{Val: int64(t)}},
+			})
+		}
+	}
+
+	// Continue part numbering across repeated splits of one function.
+	offset := 0
+	prefix := fnName + "_part"
+	for _, f := range r.Prog.Funcs {
+		if strings.HasPrefix(f.Name, prefix) {
+			offset++
+		}
+	}
+	var calls []cir.Stmt
+	for t, piece := range pieces {
+		taskName := fmt.Sprintf("%s_part%d", fnName, offset+t)
+		pl := piece.(*cir.ForStmt)
+		// Redirect reductions to the partial slot.
+		for _, red := range info.Reductions {
+			rewriteReduction(pl, red, t)
+		}
+		body := &cir.Block{}
+		// Private scalars become locals of the task.
+		for _, pv := range info.Private {
+			body.Stmts = append(body.Stmts, &cir.DeclStmt{Decl: &cir.VarDecl{Name: pv}})
+		}
+		// An induction variable assigned (not declared) in the loop
+		// header needs a local declaration in the outlined task.
+		if as, ok := pl.Init.(*cir.AssignStmt); ok {
+			if id, ok := as.LHS.(*cir.Ident); ok {
+				body.Stmts = append(body.Stmts, &cir.DeclStmt{Decl: &cir.VarDecl{Name: id.Name}})
+			}
+		}
+		body.Stmts = append(body.Stmts, pl)
+		task := &cir.FuncDecl{Name: taskName, Body: body}
+		r.Prog.Funcs = append(r.Prog.Funcs, task)
+		clo, chi, _, _ := cir.LoopBounds(pl)
+		r.chunks[taskName] = [2]int64{clo, chi}
+		calls = append(calls, &cir.ExprStmt{X: &cir.CallExpr{Fn: taskName}})
+	}
+
+	news := append(append(preStmts, calls...), postStmts...)
+	if !replaceStmt(fn.Body, loop, news) {
+		return fmt.Errorf("recode: internal error replacing loop")
+	}
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("split-loop-to-tasks", fmt.Sprintf("%s#%d", fnName, loopIdx),
+		fmt.Sprintf("k=%d private=%v reductions=%v", k, info.Private, info.Reductions), before)
+	return nil
+}
+
+// reductionOp finds the compound operator used to update v.
+func reductionOp(b *cir.Block, v string) string {
+	op := "+="
+	cir.Walk(b, func(n cir.Node) bool {
+		if a, ok := n.(*cir.AssignStmt); ok {
+			if id, ok := a.LHS.(*cir.Ident); ok && id.Name == v {
+				op = a.Op
+			}
+		}
+		return true
+	})
+	return op
+}
+
+// rewriteReduction redirects `v op= e` to `v_part[t] op= e` inside a
+// task chunk.
+func rewriteReduction(loop *cir.ForStmt, v string, t int) {
+	var ms func(cir.Stmt)
+	ms = func(s cir.Stmt) {
+		switch x := s.(type) {
+		case *cir.Block:
+			for _, st := range x.Stmts {
+				ms(st)
+			}
+		case *cir.AssignStmt:
+			if id, ok := x.LHS.(*cir.Ident); ok && id.Name == v {
+				x.LHS = &cir.IndexExpr{
+					Base: &cir.Ident{Name: v + "_part"},
+					Idx:  &cir.IntLit{Val: int64(t)},
+				}
+			}
+		case *cir.IfStmt:
+			ms(x.Then)
+			if x.Else != nil {
+				ms(x.Else)
+			}
+		case *cir.WhileStmt:
+			ms(x.Body)
+		case *cir.ForStmt:
+			ms(x.Body)
+		}
+	}
+	ms(loop)
+}
+
+// SplitVector splits a global array into per-task chunks after
+// SplitLoopToTasks: accesses inside each task function are rebased to
+// its chunk-local array (the paper's "split vectors of shared data").
+// Legality: the array may only be referenced inside task functions
+// whose chunks are known and disjoint.
+func (r *Recoder) SplitVector(arrName string) error {
+	before := r.Source()
+	var decl *cir.VarDecl
+	for _, g := range r.Prog.Globals {
+		if g.Name == arrName {
+			decl = g
+		}
+	}
+	if decl == nil || decl.ArrayN == 0 {
+		return fmt.Errorf("recode: %q is not a global array", arrName)
+	}
+	// Find referencing functions.
+	refFuncs := map[string]bool{}
+	for _, f := range r.Prog.Funcs {
+		for _, a := range dfa.StmtAccesses(f.Body) {
+			if a.Var == arrName {
+				refFuncs[f.Name] = true
+			}
+		}
+	}
+	for fname := range refFuncs {
+		if _, ok := r.chunks[fname]; !ok {
+			return fmt.Errorf("recode: %q is referenced by %q which is not a split task", arrName, fname)
+		}
+	}
+	// Distinct chunk ranges, sorted by lower bound: producer and
+	// consumer tasks over the same range share one part array; ranges
+	// must tile (disjoint or identical) for the split to be legal.
+	var ranges [][2]int64
+	for fname := range refFuncs {
+		c := r.chunks[fname]
+		dup := false
+		for _, old := range ranges {
+			if old == c {
+				dup = true
+			} else if c[0] < old[1] && old[0] < c[1] {
+				return fmt.Errorf("recode: %q chunks overlap (%v vs %v); cannot split", arrName, c, old)
+			}
+		}
+		if !dup {
+			ranges = append(ranges, c)
+		}
+	}
+	for i := 0; i < len(ranges); i++ {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[j][0] < ranges[i][0] {
+				ranges[i], ranges[j] = ranges[j], ranges[i]
+			}
+		}
+	}
+	partOf := map[[2]int64]string{}
+	var parts []string
+	for idx, c := range ranges {
+		partName := fmt.Sprintf("%s_%d", arrName, idx)
+		size := int(c[1] - c[0])
+		if size <= 0 {
+			size = 1
+		}
+		r.Prog.Globals = append(r.Prog.Globals, &cir.VarDecl{Name: partName, ArrayN: size})
+		partOf[c] = partName
+		parts = append(parts, partName)
+	}
+	for _, f := range r.Prog.Funcs {
+		chunk, ok := r.chunks[f.Name]
+		if !ok || !refFuncs[f.Name] {
+			continue
+		}
+		partName := partOf[chunk]
+		base := chunk[0]
+		mapExpr(f.Body, func(e cir.Expr) cir.Expr {
+			ix, ok := e.(*cir.IndexExpr)
+			if !ok {
+				return e
+			}
+			id, ok := ix.Base.(*cir.Ident)
+			if !ok || id.Name != arrName {
+				return e
+			}
+			newIdx := cir.Expr(&cir.BinaryExpr{
+				Op: "-", L: ix.Idx, R: &cir.IntLit{Val: base},
+			})
+			if base == 0 {
+				newIdx = ix.Idx
+			}
+			return &cir.IndexExpr{Base: &cir.Ident{Name: partName}, Idx: newIdx}
+		})
+	}
+	// Remove the original declaration.
+	var kept []*cir.VarDecl
+	for _, g := range r.Prog.Globals {
+		if g.Name != arrName {
+			kept = append(kept, g)
+		}
+	}
+	r.Prog.Globals = kept
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("split-vector", arrName, fmt.Sprintf("parts=%v", parts), before)
+	return nil
+}
+
+// LocalizeVariable demotes a global used by exactly one function into
+// a local of that function ("localize variable accesses").
+func (r *Recoder) LocalizeVariable(varName string) error {
+	before := r.Source()
+	var decl *cir.VarDecl
+	for _, g := range r.Prog.Globals {
+		if g.Name == varName {
+			decl = g
+		}
+	}
+	if decl == nil {
+		return fmt.Errorf("recode: no global %q", varName)
+	}
+	var users []*cir.FuncDecl
+	for _, f := range r.Prog.Funcs {
+		for _, a := range dfa.StmtAccesses(f.Body) {
+			if a.Var == varName {
+				users = append(users, f)
+				break
+			}
+		}
+	}
+	if len(users) == 0 {
+		return fmt.Errorf("recode: %q is unused; delete it instead", varName)
+	}
+	if len(users) > 1 {
+		names := make([]string, len(users))
+		for i, u := range users {
+			names[i] = u.Name
+		}
+		return fmt.Errorf("recode: %q is shared by %v; localizing would change behaviour", varName, names)
+	}
+	fn := users[0]
+	local := &cir.VarDecl{Name: varName, ArrayN: decl.ArrayN, Init: decl.Init}
+	if local.ArrayN == 0 && local.Init == nil {
+		local.Init = &cir.IntLit{Val: 0} // globals are zero-initialized
+	}
+	fn.Body.Stmts = append([]cir.Stmt{&cir.DeclStmt{Decl: local}}, fn.Body.Stmts...)
+	var kept []*cir.VarDecl
+	for _, g := range r.Prog.Globals {
+		if g.Name != varName {
+			kept = append(kept, g)
+		}
+	}
+	r.Prog.Globals = kept
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("localize", varName, "global -> local of "+fn.Name, before)
+	return nil
+}
+
+// InsertChannel replaces a shared-array handoff between a producer
+// and a consumer function with FIFO channel operations ("synchronize
+// accesses to shared data by inserting communication channels"):
+// producer stores into arr become chan_send, consumer loads become
+// chan_recv. The designer asserts the access orders match (the tool
+// checks the static count).
+func (r *Recoder) InsertChannel(prodFn, consFn, arrName string, chanID int) error {
+	before := r.Source()
+	prod := r.Prog.Func(prodFn)
+	cons := r.Prog.Func(consFn)
+	if prod == nil || cons == nil {
+		return fmt.Errorf("recode: missing function %q or %q", prodFn, consFn)
+	}
+	writes := 0
+	var walkAssign func(s cir.Stmt)
+	walkAssign = func(s cir.Stmt) {
+		switch x := s.(type) {
+		case *cir.Block:
+			for _, st := range x.Stmts {
+				walkAssign(st)
+			}
+		case *cir.AssignStmt:
+			if ix, ok := x.LHS.(*cir.IndexExpr); ok {
+				if id, ok := ix.Base.(*cir.Ident); ok && id.Name == arrName {
+					writes++
+				}
+			}
+		case *cir.IfStmt:
+			walkAssign(x.Then)
+			if x.Else != nil {
+				walkAssign(x.Else)
+			}
+		case *cir.WhileStmt:
+			walkAssign(x.Body)
+		case *cir.ForStmt:
+			walkAssign(x.Body)
+		}
+	}
+	walkAssign(prod.Body)
+	if writes == 0 {
+		return fmt.Errorf("recode: %q never writes %q", prodFn, arrName)
+	}
+	// Producer: arr[e] = RHS  ->  chan_send(id, RHS).
+	var rewriteProd func(s cir.Stmt)
+	rewriteProd = func(s cir.Stmt) {
+		switch x := s.(type) {
+		case *cir.Block:
+			for i, st := range x.Stmts {
+				if as, ok := st.(*cir.AssignStmt); ok {
+					if ix, ok := as.LHS.(*cir.IndexExpr); ok {
+						if id, ok := ix.Base.(*cir.Ident); ok && id.Name == arrName && as.Op == "=" {
+							x.Stmts[i] = &cir.ExprStmt{X: &cir.CallExpr{
+								Fn:   "chan_send",
+								Args: []cir.Expr{&cir.IntLit{Val: int64(chanID)}, as.RHS},
+							}}
+							continue
+						}
+					}
+				}
+				rewriteProd(st)
+			}
+		case *cir.IfStmt:
+			rewriteProd(x.Then)
+			if x.Else != nil {
+				rewriteProd(x.Else)
+			}
+		case *cir.WhileStmt:
+			rewriteProd(x.Body)
+		case *cir.ForStmt:
+			rewriteProd(x.Body)
+		}
+	}
+	rewriteProd(prod.Body)
+	// Consumer: reads of arr[e] -> chan_recv(id).
+	reads := 0
+	mapExpr(cons.Body, func(e cir.Expr) cir.Expr {
+		ix, ok := e.(*cir.IndexExpr)
+		if !ok {
+			return e
+		}
+		id, ok := ix.Base.(*cir.Ident)
+		if !ok || id.Name != arrName {
+			return e
+		}
+		reads++
+		return &cir.CallExpr{Fn: "chan_recv", Args: []cir.Expr{&cir.IntLit{Val: int64(chanID)}}}
+	})
+	if reads == 0 {
+		return fmt.Errorf("recode: %q never reads %q", consFn, arrName)
+	}
+	// Drop the array if nobody references it anymore.
+	still := false
+	for _, f := range r.Prog.Funcs {
+		for _, a := range dfa.StmtAccesses(f.Body) {
+			if a.Var == arrName {
+				still = true
+			}
+		}
+	}
+	if !still {
+		var kept []*cir.VarDecl
+		for _, g := range r.Prog.Globals {
+			if g.Name != arrName {
+				kept = append(kept, g)
+			}
+		}
+		r.Prog.Globals = kept
+	}
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("insert-channel", arrName,
+		fmt.Sprintf("%s -> %s via channel %d (%d sends, %d recvs)", prodFn, consFn, chanID, writes, reads), before)
+	return nil
+}
+
+// RecodePointers rewrites pointer arithmetic into array indexing in
+// one function: *(p+e) becomes p[e], *p becomes p[0] ("pointer
+// recoding to replace pointer expressions … enhance the analyzability
+// and synthesizability of the models").
+func (r *Recoder) RecodePointers(fnName string) error {
+	before := r.Source()
+	fn := r.Prog.Func(fnName)
+	if fn == nil {
+		return fmt.Errorf("recode: no function %q", fnName)
+	}
+	count := 0
+	mapExpr(fn.Body, func(e cir.Expr) cir.Expr {
+		u, ok := e.(*cir.UnaryExpr)
+		if !ok || u.Op != "*" {
+			return e
+		}
+		switch x := u.X.(type) {
+		case *cir.Ident:
+			count++
+			return &cir.IndexExpr{Base: x, Idx: &cir.IntLit{Val: 0}}
+		case *cir.BinaryExpr:
+			if id, okL := x.L.(*cir.Ident); okL && (x.Op == "+" || x.Op == "-") {
+				idx := x.R
+				if x.Op == "-" {
+					idx = &cir.UnaryExpr{Op: "-", X: x.R}
+				}
+				count++
+				return &cir.IndexExpr{Base: id, Idx: idx}
+			}
+		}
+		return e
+	})
+	if count == 0 {
+		return fmt.Errorf("recode: no pointer expressions to recode in %q", fnName)
+	}
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("recode-pointers", fnName, fmt.Sprintf("%d expressions", count), before)
+	return nil
+}
+
+// PruneControl folds constant expressions and removes dead branches
+// in a function ("code restructuring to prune the control structure").
+func (r *Recoder) PruneControl(fnName string) error {
+	before := r.Source()
+	fn := r.Prog.Func(fnName)
+	if fn == nil {
+		return fmt.Errorf("recode: no function %q", fnName)
+	}
+	changed := 0
+	// Constant folding.
+	mapExpr(fn.Body, func(e cir.Expr) cir.Expr {
+		if b, ok := e.(*cir.BinaryExpr); ok {
+			l, okL := b.L.(*cir.IntLit)
+			rr, okR := b.R.(*cir.IntLit)
+			if okL && okR {
+				if v, ok := foldBin(b.Op, l.Val, rr.Val); ok {
+					changed++
+					return &cir.IntLit{Line: b.Line, Val: v}
+				}
+			}
+		}
+		if u, ok := e.(*cir.UnaryExpr); ok {
+			if l, okL := u.X.(*cir.IntLit); okL {
+				switch u.Op {
+				case "-":
+					changed++
+					return &cir.IntLit{Line: u.Line, Val: -l.Val}
+				case "!":
+					changed++
+					v := int64(0)
+					if l.Val == 0 {
+						v = 1
+					}
+					return &cir.IntLit{Line: u.Line, Val: v}
+				case "~":
+					changed++
+					return &cir.IntLit{Line: u.Line, Val: ^l.Val}
+				}
+			}
+		}
+		return e
+	})
+	// Dead-branch elimination.
+	var prune func(b *cir.Block)
+	prune = func(b *cir.Block) {
+		var out []cir.Stmt
+		for _, s := range b.Stmts {
+			switch x := s.(type) {
+			case *cir.IfStmt:
+				if lit, ok := x.Cond.(*cir.IntLit); ok {
+					changed++
+					var taken *cir.Block
+					if lit.Val != 0 {
+						taken = x.Then
+					} else {
+						taken = x.Else
+					}
+					if taken != nil {
+						prune(taken)
+						out = append(out, taken.Stmts...)
+					}
+					continue
+				}
+				prune(x.Then)
+				if x.Else != nil {
+					prune(x.Else)
+				}
+			case *cir.Block:
+				prune(x)
+			case *cir.WhileStmt:
+				prune(x.Body)
+			case *cir.ForStmt:
+				prune(x.Body)
+			}
+			out = append(out, s)
+		}
+		b.Stmts = out
+	}
+	prune(fn.Body)
+	if changed == 0 {
+		return fmt.Errorf("recode: nothing to prune in %q", fnName)
+	}
+	if err := r.reparse(); err != nil {
+		return err
+	}
+	r.log("prune-control", fnName, fmt.Sprintf("%d folds/branches", changed), before)
+	return nil
+}
+
+func foldBin(op string, l, r int64) (int64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "<<":
+		return l << (uint64(r) & 63), true
+	case ">>":
+		return l >> (uint64(r) & 63), true
+	case "&":
+		return l & r, true
+	case "|":
+		return l | r, true
+	case "^":
+		return l ^ r, true
+	}
+	return 0, false
+}

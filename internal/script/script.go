@@ -1,0 +1,407 @@
+// Package script implements the scriptable debug framework of the
+// paper's section VII: "Using a TCL based scripting language, the
+// control and inspection of hardware and software can be automated.
+// This scripting capability allows implementing system level software
+// assertions, without changing the software code."
+//
+// The language is a small TCL-flavoured command language: one command
+// per line, whitespace-separated words, $variable substitution, and
+// brace-delimited blocks that attach scripts to watchpoints.
+//
+// Commands:
+//
+//	set NAME VALUE            define a variable
+//	echo WORDS...             append a line to the output
+//	run N(us|ms|ns)           advance virtual time (top level only)
+//	suspend | resume          whole-system suspension control
+//	break CORE SYM|ADDR       arm a PC breakpoint
+//	step CORE [N]             step a suspended core
+//	watch write|read|rw LO [HI]   arm a memory watchpoint (prints id)
+//	onwatch ID { SCRIPT }     run SCRIPT on each hit of watch ID
+//	assert A OP B             record a violation when false
+//	print REF                 echo a value reference
+//
+// Value references: integer literals, $vars, and state refs
+// reg:CORE:N, pc:CORE, mem:ADDR (shared memory word), hits:WATCHID,
+// console:CORE (number of words printed). Inside onwatch blocks the
+// variables $hit_core, $hit_addr and $hit_value are bound.
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mpsockit/internal/debug"
+	"mpsockit/internal/sim"
+)
+
+// Interp executes debug scripts against a Debugger.
+type Interp struct {
+	D *debug.Debugger
+	// Symbols resolves program symbols for `break`.
+	Symbols map[string]uint32
+	// Out collects echo/print lines.
+	Out []string
+	// Violations mirrors assertion failures (also recorded on the
+	// debugger).
+	Violations []string
+
+	vars      map[string]string
+	watches   map[int64]*debug.MemWatch
+	inHandler bool
+}
+
+// New returns a script interpreter bound to d.
+func New(d *debug.Debugger) *Interp {
+	return &Interp{
+		D:       d,
+		Symbols: map[string]uint32{},
+		vars:    map[string]string{},
+		watches: map[int64]*debug.MemWatch{},
+	}
+}
+
+// Run executes a script.
+func (in *Interp) Run(src string) error {
+	cmds, err := parse(src)
+	if err != nil {
+		return err
+	}
+	for _, c := range cmds {
+		if err := in.exec(c); err != nil {
+			return fmt.Errorf("script: line %d: %w", c.line, err)
+		}
+	}
+	return nil
+}
+
+// command is one parsed command: words plus optional brace block.
+type command struct {
+	line  int
+	words []string
+	block string
+}
+
+// parse splits the script into commands, honouring brace blocks that
+// may span lines.
+func parse(src string) ([]command, error) {
+	var cmds []command
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		ln := strings.TrimSpace(lines[i])
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		lineNo := i + 1
+		// Collect a brace block if the line opens one.
+		if idx := strings.Index(ln, "{"); idx >= 0 {
+			head := strings.TrimSpace(ln[:idx])
+			rest := ln[idx:]
+			depth := 0
+			var block strings.Builder
+			done := false
+			for {
+				for _, ch := range rest {
+					switch ch {
+					case '{':
+						depth++
+						if depth == 1 {
+							continue
+						}
+					case '}':
+						depth--
+						if depth == 0 {
+							done = true
+							continue
+						}
+					}
+					if depth >= 1 && !done {
+						block.WriteRune(ch)
+					}
+				}
+				if done {
+					break
+				}
+				block.WriteString("\n")
+				i++
+				if i >= len(lines) {
+					return nil, fmt.Errorf("script: line %d: unterminated block", lineNo)
+				}
+				rest = lines[i]
+			}
+			cmds = append(cmds, command{line: lineNo, words: strings.Fields(head), block: block.String()})
+			continue
+		}
+		cmds = append(cmds, command{line: lineNo, words: strings.Fields(ln)})
+	}
+	return cmds, nil
+}
+
+// subst expands $vars in a word.
+func (in *Interp) subst(w string) string {
+	if !strings.Contains(w, "$") {
+		return w
+	}
+	out := w
+	for name, val := range in.vars {
+		out = strings.ReplaceAll(out, "$"+name, val)
+	}
+	return out
+}
+
+// value resolves a reference to an integer.
+func (in *Interp) value(w string) (int64, error) {
+	w = in.subst(w)
+	if v, err := strconv.ParseInt(w, 0, 64); err == nil {
+		return v, nil
+	}
+	parts := strings.Split(w, ":")
+	switch parts[0] {
+	case "reg":
+		if len(parts) != 3 {
+			return 0, fmt.Errorf("want reg:CORE:N, got %q", w)
+		}
+		core, err1 := strconv.Atoi(parts[1])
+		reg, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("bad reg ref %q", w)
+		}
+		return int64(in.D.Reg(core, reg)), nil
+	case "pc":
+		core, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, fmt.Errorf("bad pc ref %q", w)
+		}
+		return int64(in.D.PC(core)), nil
+	case "mem":
+		addr, err := strconv.ParseUint(parts[1], 0, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad mem ref %q", w)
+		}
+		return int64(in.D.SharedWord(uint32(addr))), nil
+	case "hits":
+		id, err := strconv.ParseInt(parts[1], 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad hits ref %q", w)
+		}
+		watch, ok := in.watches[id]
+		if !ok {
+			return 0, fmt.Errorf("no watch %d", id)
+		}
+		return int64(watch.Hits), nil
+	case "console":
+		core, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, fmt.Errorf("bad console ref %q", w)
+		}
+		return int64(len(in.D.VP.Console[core])), nil
+	}
+	return 0, fmt.Errorf("cannot resolve %q", w)
+}
+
+func (in *Interp) exec(c command) error {
+	if len(c.words) == 0 {
+		return nil
+	}
+	cmd := c.words[0]
+	args := c.words[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d args, got %d", cmd, n, len(args))
+		}
+		return nil
+	}
+	switch cmd {
+	case "set":
+		if err := need(2); err != nil {
+			return err
+		}
+		in.vars[args[0]] = in.subst(args[1])
+	case "echo":
+		var parts []string
+		for _, a := range args {
+			parts = append(parts, in.subst(a))
+		}
+		in.Out = append(in.Out, strings.Join(parts, " "))
+	case "run":
+		if in.inHandler {
+			return fmt.Errorf("run is not allowed inside onwatch handlers")
+		}
+		if err := need(1); err != nil {
+			return err
+		}
+		d, err := parseDuration(in.subst(args[0]))
+		if err != nil {
+			return err
+		}
+		in.D.VP.K.RunFor(d)
+	case "suspend":
+		in.D.VP.Suspend()
+	case "resume":
+		in.D.Continue()
+	case "break":
+		if err := need(2); err != nil {
+			return err
+		}
+		core, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad core %q", args[0])
+		}
+		addr, err := in.resolveAddr(args[1])
+		if err != nil {
+			return err
+		}
+		in.D.AddBreakpoint(core, addr)
+	case "step":
+		core, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("bad core %q", args[0])
+		}
+		n := 1
+		if len(args) > 1 {
+			n, err = strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("bad count %q", args[1])
+			}
+		}
+		for i := 0; i < n; i++ {
+			if err := in.D.VP.StepCore(core); err != nil {
+				return err
+			}
+		}
+	case "watch":
+		if len(args) < 2 {
+			return fmt.Errorf("watch wants MODE LO [HI]")
+		}
+		mode := args[0]
+		lo64, err := in.value(args[1])
+		if err != nil {
+			return err
+		}
+		hi64 := lo64 + 3
+		if len(args) > 2 {
+			hi64, err = in.value(args[2])
+			if err != nil {
+				return err
+			}
+		}
+		onR := mode == "read" || mode == "rw"
+		onW := mode == "write" || mode == "rw"
+		if !onR && !onW {
+			return fmt.Errorf("watch mode must be read, write or rw")
+		}
+		w := in.D.WatchMem(uint32(lo64), uint32(hi64), onR, onW, -1)
+		w.Handler = func(d *debug.Debugger, r debug.StopReason) {} // count-only until onwatch
+		in.watches[int64(w.ID)] = w
+		in.Out = append(in.Out, fmt.Sprintf("watch %d", w.ID))
+	case "onwatch":
+		if len(args) != 1 || c.block == "" {
+			return fmt.Errorf("onwatch wants ID { SCRIPT }")
+		}
+		id, err := strconv.ParseInt(in.subst(args[0]), 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad watch id %q", args[0])
+		}
+		w, ok := in.watches[id]
+		if !ok {
+			return fmt.Errorf("no watch %d", id)
+		}
+		body := c.block
+		w.Handler = func(d *debug.Debugger, r debug.StopReason) {
+			saved := in.inHandler
+			in.inHandler = true
+			in.vars["hit_core"] = strconv.Itoa(r.Core)
+			in.vars["hit_addr"] = fmt.Sprintf("0x%08x", r.Addr)
+			in.vars["hit_value"] = strconv.FormatUint(uint64(r.Value), 10)
+			if err := in.Run(body); err != nil {
+				in.Violations = append(in.Violations, "handler error: "+err.Error())
+			}
+			in.inHandler = saved
+		}
+	case "assert":
+		if err := need(3); err != nil {
+			return err
+		}
+		a, err := in.value(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := in.value(args[2])
+		if err != nil {
+			return err
+		}
+		ok, err := compare(a, in.subst(args[1]), b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			v := fmt.Sprintf("assert %s %s %s failed (%d vs %d) at %v",
+				args[0], args[1], args[2], a, b, in.D.VP.K.Now())
+			in.Violations = append(in.Violations, v)
+			in.D.Violations = append(in.D.Violations, v)
+		}
+	case "print":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := in.value(args[0])
+		if err != nil {
+			return err
+		}
+		in.Out = append(in.Out, fmt.Sprintf("%s = %d", args[0], v))
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func (in *Interp) resolveAddr(w string) (uint32, error) {
+	w = in.subst(w)
+	if v, err := strconv.ParseUint(w, 0, 32); err == nil {
+		return uint32(v), nil
+	}
+	if addr, ok := in.Symbols[w]; ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("unknown symbol %q", w)
+}
+
+func parseDuration(s string) (sim.Time, error) {
+	mul := sim.Nanosecond
+	switch {
+	case strings.HasSuffix(s, "us"):
+		mul = sim.Microsecond
+		s = strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ms"):
+		mul = sim.Millisecond
+		s = strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "ns"):
+		s = strings.TrimSuffix(s, "ns")
+	default:
+		return 0, fmt.Errorf("duration %q needs a ns/us/ms suffix", s)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.Time(v) * mul, nil
+}
+
+func compare(a int64, op string, b int64) (bool, error) {
+	switch op {
+	case "==":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	case "<":
+		return a < b, nil
+	case "<=":
+		return a <= b, nil
+	case ">":
+		return a > b, nil
+	case ">=":
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("unknown comparison %q", op)
+}

@@ -1,0 +1,257 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"mpsockit/internal/debug"
+	"mpsockit/internal/isa"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/vp"
+)
+
+func session(t *testing.T, cores int, src string) (*Interp, *vp.VP) {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	v := vp.New(k, vp.DefaultConfig(cores))
+	for c := 0; c < cores; c++ {
+		v.LoadProgram(c, prog)
+	}
+	d := debug.New(v)
+	in := New(d)
+	in.Symbols = prog.Symbols
+	v.Start()
+	return in, v
+}
+
+func TestSetEchoPrint(t *testing.T) {
+	in, _ := session(t, 1, "halt")
+	err := in.Run(`
+		# a comment
+		set who world
+		echo hello $who
+		set n 42
+		print $n
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Out[0] != "hello world" {
+		t.Fatalf("out = %v", in.Out)
+	}
+	if !strings.Contains(in.Out[1], "= 42") {
+		t.Fatalf("out = %v", in.Out)
+	}
+}
+
+func TestRunAndStateRefs(t *testing.T) {
+	in, v := session(t, 1, `
+		li  t0, 0x40000010
+		li  t1, 99
+		sw  t1, 0(t0)
+		addi s0, r0, 17
+		halt
+	`)
+	if err := in.Run("run 100us"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllHalted() {
+		t.Fatal("program did not finish")
+	}
+	if err := in.Run(`
+		print mem:0x40000010
+		print reg:0:16
+		assert mem:0x40000010 == 99
+		assert reg:0:16 == 17
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Violations) != 0 {
+		t.Fatalf("violations = %v", in.Violations)
+	}
+}
+
+func TestAssertFailureRecorded(t *testing.T) {
+	in, _ := session(t, 1, "halt")
+	if err := in.Run("run 10us\nassert 1 == 2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Violations) != 1 {
+		t.Fatalf("violations = %v", in.Violations)
+	}
+	if len(in.D.Violations) != 1 {
+		t.Fatal("violation not mirrored on debugger")
+	}
+}
+
+func TestBreakAndStep(t *testing.T) {
+	in, v := session(t, 1, `
+		.entry main
+	main:
+		addi s0, s0, 1
+	spot:
+		addi s0, s0, 10
+		addi s0, s0, 100
+		halt
+	`)
+	if err := in.Run(`
+		break 0 spot
+		run 100us
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Suspended() {
+		t.Fatal("breakpoint did not suspend")
+	}
+	if in.D.Reg(0, 16) != 1 {
+		t.Fatalf("s0 = %d at breakpoint", in.D.Reg(0, 16))
+	}
+	// Step over the instruction under the breakpoint.
+	if err := in.Run("step 0 1"); err != nil {
+		t.Fatal(err)
+	}
+	if in.D.Reg(0, 16) != 11 {
+		t.Fatalf("s0 = %d after step", in.D.Reg(0, 16))
+	}
+	if err := in.Run("resume\nrun 100us"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllHalted() {
+		t.Fatal("did not finish after resume")
+	}
+}
+
+func TestWatchpointWithAssertionScript(t *testing.T) {
+	// The section VII use case: assert a system-level invariant
+	// (counter stays below a limit) on every shared write, without
+	// touching target code.
+	in, v := session(t, 1, `
+		li   s0, 0x40000000
+		li   s1, 5
+	loop:
+		lw   t0, 0(s0)
+		addi t0, t0, 40
+		sw   t0, 0(s0)
+		addi s1, s1, -1
+		bne  s1, r0, loop
+		halt
+	`)
+	err := in.Run(`
+		set limit 100
+		watch write 0x40000000
+		onwatch 1 {
+			assert $hit_value <= $limit
+		}
+		run 500us
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.AllHalted() {
+		t.Fatal("program did not finish")
+	}
+	// Writes: 40, 80, 120, 160, 200 -> three violations.
+	if len(in.Violations) != 3 {
+		t.Fatalf("violations = %v", in.Violations)
+	}
+	if err := in.Run("assert hits:1 == 5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Violations) != 3 {
+		t.Fatal("hit count wrong")
+	}
+}
+
+func TestOnwatchBindsHitVars(t *testing.T) {
+	in, _ := session(t, 1, `
+		li  t0, 0x40000020
+		li  t1, 7
+		sw  t1, 0(t0)
+		halt
+	`)
+	err := in.Run(`
+		watch write 0x40000020
+		onwatch 1 {
+			echo hit core $hit_core at $hit_addr value $hit_value
+		}
+		run 100us
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range in.Out {
+		if strings.Contains(o, "hit core 0") && strings.Contains(o, "0x40000020") && strings.Contains(o, "value 7") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("out = %v", in.Out)
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	in, _ := session(t, 1, "halt")
+	cases := []string{
+		"bogus",
+		"set x",
+		"run 10",         // missing unit
+		"break 0 nosuch", // unknown symbol
+		"watch sideways 0x40000000",
+		"onwatch 9 { echo x }",
+		"assert 1 ~~ 2",
+		"print reg:zz:0",
+	}
+	for _, src := range cases {
+		if err := in.Run(src); err == nil {
+			t.Errorf("script %q accepted", src)
+		}
+	}
+}
+
+func TestRunForbiddenInHandler(t *testing.T) {
+	in, _ := session(t, 1, `
+		li  t0, 0x40000030
+		sw  t0, 0(t0)
+		halt
+	`)
+	err := in.Run(`
+		watch write 0x40000030
+		onwatch 1 {
+			run 10us
+		}
+		run 100us
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range in.Violations {
+		if strings.Contains(v, "handler error") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("nested run not rejected: %v", in.Violations)
+	}
+}
+
+func TestConsoleRef(t *testing.T) {
+	in, _ := session(t, 1, `
+		addi v0, r0, 1
+		addi a0, r0, 5
+		ecall
+		ecall
+		halt
+	`)
+	if err := in.Run("run 100us\nassert console:0 == 2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Violations) != 0 {
+		t.Fatalf("violations = %v", in.Violations)
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim implements the deterministic discrete-event simulation
+// kernel underneath every hardware and OS model in the toolkit.
+//
+// All platform components (cores, interconnect, DMA engines, RTOS
+// schedulers, dataflow executors, the virtual platform) advance a
+// shared virtual clock by executing events in a strict, reproducible
+// order. Determinism is the property the paper's section VII builds
+// its whole debugging argument on (non-intrusive suspension and
+// reproducible defects), so the kernel guarantees it structurally:
+// events at equal timestamps are ordered by (priority, insertion
+// sequence), and simulated "concurrency" is cooperative — exactly one
+// event handler or process body runs at a time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in picoseconds. The
+// picosecond base lets per-core frequency scaling (section II-A of the
+// paper calls for fine-grained frequency variability) express exact
+// integer cycle periods for clocks up to 1 THz.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel for "no deadline".
+const Forever Time = 1<<63 - 1
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "forever"
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.6gns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. Events are single-shot; cancelling an
+// already-fired or already-cancelled event is a no-op.
+type Event struct {
+	at       Time
+	prio     int
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance. It is not safe for
+// concurrent use; all model code runs on the kernel's goroutine (or in
+// lock-step handoff with it, for processes).
+type Kernel struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts events dispatched since construction; useful as
+	// a progress measure and in tests.
+	Executed uint64
+	// procs tracks live processes so Drain can detect leaks in tests.
+	procs int
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule queues fn to run after delay, with priority 0. A negative
+// delay panics: virtual time cannot run backwards.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	return k.ScheduleP(delay, 0, fn)
+}
+
+// ScheduleP queues fn to run after delay with an explicit priority.
+// Lower priorities run first among events with equal timestamps.
+func (k *Kernel) ScheduleP(delay Time, prio int, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return k.at(k.now+delay, prio, fn)
+}
+
+// At queues fn to run at absolute time t (>= Now).
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, k.now))
+	}
+	return k.at(t, 0, fn)
+}
+
+func (k *Kernel) at(t Time, prio int, fn func()) *Event {
+	e := &Event{at: t, prio: prio, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Cancel removes a queued event. Safe to call on fired events.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	heap.Remove(&k.queue, e.index)
+}
+
+// Step executes the single next event. It returns false when the queue
+// is empty or the kernel has been stopped.
+func (k *Kernel) Step() bool {
+	if k.stopped || len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*Event)
+	if e.at < k.now {
+		panic("sim: event queue corrupted (time went backwards)")
+	}
+	k.now = e.at
+	k.Executed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to the deadline (if the simulation did not already pass
+// it). It returns the number of events executed.
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	start := k.Executed
+	for !k.stopped && len(k.queue) > 0 && k.queue[0].at <= deadline {
+		k.Step()
+	}
+	if !k.stopped && k.now < deadline {
+		k.now = deadline
+	}
+	return k.Executed - start
+}
+
+// RunFor runs for d units of virtual time from the current instant.
+func (k *Kernel) RunFor(d Time) uint64 {
+	return k.RunUntil(k.now + d)
+}
+
+// Stop halts the run loop after the current event handler returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Resume clears a previous Stop so the kernel can run again.
+func (k *Kernel) Resume() { k.stopped = false }

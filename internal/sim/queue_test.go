@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q", 4)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			q.Put(p, i)
+			p.Delay(1 * Nanosecond)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	k.Run()
+	if len(got) != 10 {
+		t.Fatalf("consumed %d, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+	if q.Puts != 10 || q.Gets != 10 {
+		t.Fatalf("stats puts=%d gets=%d", q.Puts, q.Gets)
+	}
+}
+
+func TestQueueBackPressure(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q", 2)
+	var putTimes []Time
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			q.Put(p, i)
+			putTimes = append(putTimes, p.Now())
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Delay(100 * Nanosecond)
+		for i := 0; i < 4; i++ {
+			q.Get(p)
+			p.Delay(10 * Nanosecond)
+		}
+	})
+	k.Run()
+	// First two puts are immediate; the third must block until the
+	// consumer frees a slot at t=100ns.
+	if putTimes[0] != 0 || putTimes[1] != 0 {
+		t.Fatalf("first puts should be immediate: %v", putTimes)
+	}
+	if putTimes[2] != 100*Nanosecond {
+		t.Fatalf("third put at %v, want 100ns (back-pressure)", putTimes[2])
+	}
+	if q.BlockedPutTime == 0 {
+		t.Fatal("blocked-put time not accounted")
+	}
+}
+
+func TestQueueTryAndForcePut(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q", 2)
+	if !q.TryPut(1) || !q.TryPut(2) {
+		t.Fatal("TryPut should succeed while not full")
+	}
+	if q.TryPut(3) {
+		t.Fatal("TryPut should fail when full")
+	}
+	ev := q.ForcePut(3)
+	if ev != 1 {
+		t.Fatalf("ForcePut evicted %v, want 1 (oldest)", ev)
+	}
+	v, ok := q.TryGet()
+	if !ok || v != 2 {
+		t.Fatalf("after eviction head = %v, want 2", v)
+	}
+	v, ok = q.Peek()
+	if !ok || v != 3 {
+		t.Fatalf("peek = %v, want 3", v)
+	}
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	k := NewKernel()
+	q := k.NewQueue("q", 0)
+	for i := 0; i < 1000; i++ {
+		if !q.TryPut(i) {
+			t.Fatal("unbounded queue rejected a token")
+		}
+	}
+	if q.MaxDepth != 1000 {
+		t.Fatalf("max depth %d, want 1000", q.MaxDepth)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	r := k.NewResource("bus", 1)
+	inCrit := 0
+	maxInCrit := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("user", func(p *Proc) {
+			r.Acquire(p)
+			inCrit++
+			if inCrit > maxInCrit {
+				maxInCrit = inCrit
+			}
+			p.Delay(10 * Nanosecond)
+			inCrit--
+			r.Release()
+		})
+	}
+	k.Run()
+	if maxInCrit != 1 {
+		t.Fatalf("mutual exclusion violated: %d concurrent holders", maxInCrit)
+	}
+	if r.Acquisitions != 5 {
+		t.Fatalf("acquisitions = %d, want 5", r.Acquisitions)
+	}
+	if r.ContendedTime == 0 {
+		t.Fatal("contention time not accounted")
+	}
+}
+
+func TestResourceCounting(t *testing.T) {
+	k := NewKernel()
+	r := k.NewResource("dma", 2)
+	if !r.TryAcquire() || !r.TryAcquire() {
+		t.Fatal("two units should be available")
+	}
+	if r.TryAcquire() {
+		t.Fatal("third acquire should fail")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("released unit should be reacquirable")
+	}
+	if r.InUse() != 2 {
+		t.Fatalf("in use = %d, want 2", r.InUse())
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k := NewKernel()
+	k.NewResource("r", 1).Release()
+}
+
+// Property: any interleaving of bounded producers/consumers preserves
+// token order and never exceeds capacity.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(capRaw uint8, prodDelay, consDelay uint8, n uint8) bool {
+		capacity := int(capRaw%8) + 1
+		count := int(n%64) + 1
+		k := NewKernel()
+		q := k.NewQueue("q", capacity)
+		var got []int
+		overCap := false
+		k.Spawn("prod", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				q.Put(p, i)
+				if q.Len() > capacity {
+					overCap = true
+				}
+				p.Delay(Time(prodDelay) * Nanosecond)
+			}
+		})
+		k.Spawn("cons", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				got = append(got, q.Get(p).(int))
+				p.Delay(Time(consDelay) * Nanosecond)
+			}
+		})
+		k.Run()
+		if overCap || len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,5 @@
+package targets
+
+import "mpsockit/internal/sim"
+
+func simKernel() *sim.Kernel { return sim.NewKernel() }

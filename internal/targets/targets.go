@@ -1,0 +1,52 @@
+// Package targets provides the architecture-information files for the
+// paper's section V retargeting study: a Cell-BE-like distributed
+// local-store machine programmed with DMA message passing (the H.264
+// encoder target of reference [7]) and an ARM-MPCore-like symmetric
+// multiprocessor with lock-protected shared-memory FIFOs. One CIC
+// spec translated against both must produce identical outputs — the
+// retargetability claim under test.
+package targets
+
+import "mpsockit/internal/cic"
+
+// CellLike returns a 1-PPE + nSPE architecture with 256 KiB SPE local
+// stores and a DMA interconnect.
+func CellLike(nSPE int) *cic.ArchInfo {
+	arch := &cic.ArchInfo{
+		Name: "celllike",
+		Interconnect: cic.InterconnectInfo{
+			Type: "dma", BytesPerNS: 16, HopLatencyNS: 2, DMASetupNS: 150,
+		},
+	}
+	arch.Processors = append(arch.Processors, cic.ProcessorInfo{
+		Name: "ppe", Class: "CTRL", ClockHz: 3_200_000_000, LocalMemBytes: 512 << 10,
+	})
+	for i := 0; i < nSPE; i++ {
+		arch.Processors = append(arch.Processors, cic.ProcessorInfo{
+			Name: spe(i), Class: "DSP", ClockHz: 3_200_000_000, LocalMemBytes: 256 << 10,
+		})
+	}
+	return arch
+}
+
+func spe(i int) string {
+	return "spe" + string(rune('0'+i))
+}
+
+// SMP returns an n-core MPCore-like shared-memory architecture.
+func SMP(n int) *cic.ArchInfo {
+	arch := &cic.ArchInfo{
+		Name:           "mpcorelike",
+		SharedMemBytes: 64 << 20,
+		Interconnect: cic.InterconnectInfo{
+			Type: "sharedmem", BytesPerNS: 4, HopLatencyNS: 5, LockCycles: 120,
+		},
+	}
+	for i := 0; i < n; i++ {
+		arch.Processors = append(arch.Processors, cic.ProcessorInfo{
+			Name: "cpu" + string(rune('0'+i)), Class: "RISC", ClockHz: 600_000_000,
+			LocalMemBytes: 512 << 10,
+		})
+	}
+	return arch
+}

@@ -1,0 +1,66 @@
+package targets
+
+import (
+	"bytes"
+	"testing"
+
+	"mpsockit/internal/cic"
+)
+
+func TestCellLikeValid(t *testing.T) {
+	arch := CellLike(6)
+	if err := arch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if arch.Interconnect.Type != "dma" {
+		t.Fatal("cell-like must use DMA message passing")
+	}
+	if arch.Processor("ppe") == nil || arch.Processor("spe5") == nil {
+		t.Fatal("processors missing")
+	}
+	if arch.Processor("spe0").LocalMemBytes != 256<<10 {
+		t.Fatal("SPE local store size wrong")
+	}
+}
+
+func TestSMPValid(t *testing.T) {
+	arch := SMP(4)
+	if err := arch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if arch.Interconnect.Type != "sharedmem" || arch.SharedMemBytes == 0 {
+		t.Fatal("SMP must use shared memory")
+	}
+	if arch.Interconnect.LockCycles <= 0 {
+		t.Fatal("SMP needs a lock cost")
+	}
+}
+
+func TestArchesSerializeToXML(t *testing.T) {
+	for _, arch := range []*cic.ArchInfo{CellLike(2), SMP(2)} {
+		var buf bytes.Buffer
+		if err := cic.WriteArch(&buf, arch); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := cic.ParseArch(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if parsed.Name != arch.Name || len(parsed.Processors) != len(arch.Processors) {
+			t.Fatalf("%s round trip lost data", arch.Name)
+		}
+	}
+}
+
+func TestBuildablePlatforms(t *testing.T) {
+	for _, arch := range []*cic.ArchInfo{CellLike(3), SMP(3)} {
+		k := simKernel()
+		p, err := arch.BuildPlatform(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Cores) != len(arch.Processors) {
+			t.Fatalf("%s: %d cores", arch.Name, len(p.Cores))
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package workload provides the applications the paper's tools are
+// exercised on: a JPEG-flavoured still-image encoder (the MAPS
+// partitioning case study of section IV), an H.264-flavoured video
+// encoder (the HOPES/CIC retargeting study of section V, ref [7]),
+// and a car-radio stream chain (the NXP data-driven system of section
+// III). The codecs are functionally real — integer DCT, quantization,
+// zigzag, run-length entropy coding, motion search — but reduced to
+// laptop scale, giving the toolflows genuine dependence structure and
+// checkable outputs.
+package workload
+
+import "mpsockit/internal/xrand"
+
+// Block8 is an 8x8 sample block in row-major order.
+type Block8 [64]int32
+
+// jpegQuant is a luminance-style quantization matrix.
+var jpegQuant = Block8{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag is the coefficient scan order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// dctCos is a fixed-point (scaled by 1<<10) cosine table for the 8x8
+// DCT-II: dctCos[k][n] = round(1024 * cos((2n+1)k*pi/16)).
+var dctCos [8][8]int32
+
+func init() {
+	// Integer-friendly initialization from the exact table; values
+	// precomputed to avoid math imports in hot paths.
+	table := [8][8]int32{
+		{1024, 1024, 1024, 1024, 1024, 1024, 1024, 1024},
+		{1004, 851, 569, 200, -200, -569, -851, -1004},
+		{946, 392, -392, -946, -946, -392, 392, 946},
+		{851, -200, -1004, -569, 569, 1004, 200, -851},
+		{724, -724, -724, 724, 724, -724, -724, 724},
+		{569, -1004, 200, 851, -851, -200, 1004, -569},
+		{392, -946, 946, -392, -392, 946, -946, 392},
+		{200, -569, 851, -1004, 1004, -851, 569, -200},
+	}
+	dctCos = table
+}
+
+// DCT8 computes the two-dimensional 8x8 DCT-II in fixed point.
+func DCT8(in *Block8) Block8 {
+	var tmp [64]int64
+	// Rows.
+	for r := 0; r < 8; r++ {
+		for k := 0; k < 8; k++ {
+			var acc int64
+			for n := 0; n < 8; n++ {
+				acc += int64(in[r*8+n]) * int64(dctCos[k][n])
+			}
+			tmp[r*8+k] = acc >> 10
+		}
+	}
+	// Columns.
+	var out Block8
+	for c := 0; c < 8; c++ {
+		for k := 0; k < 8; k++ {
+			var acc int64
+			for n := 0; n < 8; n++ {
+				acc += tmp[n*8+c] * int64(dctCos[k][n])
+			}
+			// Normalization folded into a single shift (scale-preserving
+			// approximation; exactness does not matter, determinism does).
+			out[k*8+c] = int32(acc >> 13)
+		}
+	}
+	return out
+}
+
+// Quantize divides coefficients by the quantization matrix scaled by
+// quality (higher quality = finer steps).
+func Quantize(in *Block8, quality int32) Block8 {
+	if quality <= 0 {
+		quality = 1
+	}
+	var out Block8
+	for i := range in {
+		q := jpegQuant[i] / quality
+		if q < 1 {
+			q = 1
+		}
+		out[i] = in[i] / q
+	}
+	return out
+}
+
+// Zigzag reorders a block into scan order.
+func Zigzag(in *Block8) Block8 {
+	var out Block8
+	for i, src := range zigzag {
+		out[i] = in[src]
+	}
+	return out
+}
+
+// RLE run-length encodes a scanned block as (run,level) pairs with a
+// (0,0) terminator, appending to dst.
+func RLE(in *Block8, dst []int32) []int32 {
+	run := int32(0)
+	for _, v := range in {
+		if v == 0 {
+			run++
+			continue
+		}
+		dst = append(dst, run, v)
+		run = 0
+	}
+	return append(dst, 0, 0)
+}
+
+// EncodeJPEG runs the full block pipeline over an image of w*h
+// samples (w, h multiples of 8) and returns the entropy-coded stream.
+func EncodeJPEG(pixels []int32, w, h int, quality int32) []int32 {
+	if w%8 != 0 || h%8 != 0 || len(pixels) != w*h {
+		panic("workload: image must be a multiple of 8x8")
+	}
+	var out []int32
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			var blk Block8
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = pixels[(by+y)*w+bx+x] - 128
+				}
+			}
+			d := DCT8(&blk)
+			q := Quantize(&d, quality)
+			z := Zigzag(&q)
+			out = RLE(&z, out)
+		}
+	}
+	return out
+}
+
+// TestImage generates a deterministic synthetic image with smooth
+// gradients plus texture — enough spectral content to exercise every
+// pipeline stage.
+func TestImage(w, h int, seed uint64) []int32 {
+	r := xrand.New(seed)
+	img := make([]int32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int32((x*255)/w+(y*128)/h) + int32(r.Intn(32)) - 16
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			img[y*w+x] = v
+		}
+	}
+	return img
+}
+
+// JPEGSourceCIR is the sequential C-subset version of the block
+// pipeline over a 4-block strip, used as the MAPS partitioning input
+// (experiment E6). Stages communicate through global arrays exactly
+// like the reference C implementations MAPS consumes; the 2-D DCT is
+// written as separable row and column passes (as real encoders do),
+// which gives the pipeline two comparably heavy stages.
+const JPEGSourceCIR = `
+	int input[256];
+	int shifted[256];
+	int rowdct[256];
+	int coeff[256];
+	int quanted[256];
+	int packed[512];
+	int npacked;
+
+	void main() {
+		for (int i = 0; i < 256; i++) {
+			shifted[i] = input[i] - 128;
+		}
+		for (int r = 0; r < 32; r++) {
+			for (int k = 0; k < 8; k++) {
+				int acc = 0;
+				for (int n = 0; n < 8; n++) {
+					acc += shifted[r * 8 + n] * ((k * 7 + n * 3) % 32 - 16);
+				}
+				rowdct[r * 8 + k] = acc / 8;
+			}
+		}
+		for (int c = 0; c < 32; c++) {
+			for (int k = 0; k < 8; k++) {
+				int acc = 0;
+				for (int n = 0; n < 8; n++) {
+					acc += rowdct[c * 8 + n] * ((k * 5 + n * 3) % 32 - 16);
+				}
+				coeff[c * 8 + k] = acc / 8;
+			}
+		}
+		for (int i = 0; i < 256; i++) {
+			int q = 8 + (i % 64) / 8;
+			quanted[i] = coeff[i] / q;
+		}
+		npacked = 0;
+		for (int i = 0; i < 256; i++) {
+			if (quanted[i] != 0) {
+				packed[npacked] = quanted[i];
+				npacked += 1;
+			}
+		}
+		print(npacked);
+	}
+`

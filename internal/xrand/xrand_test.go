@@ -1,0 +1,117 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %g far from 0.5; generator biased", mean)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	f := func(seed uint64, a, b int32) bool {
+		lo, hi := int64(a), int64(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := New(seed).Range(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(3)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("mean %g, want ~10", mean)
+	}
+	if variance < 3.5 || variance > 4.5 {
+		t.Fatalf("variance %g, want ~4", variance)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream mirrors parent")
+	}
+}
