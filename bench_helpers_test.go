@@ -125,3 +125,26 @@ func runE13() (mvpEvents uint64, mvpTime sim.Time, issInstr uint64, issTime sim.
 	issTime = k.Now()
 	return
 }
+
+// runE13b runs the E13 ISS workload for 1 ms of virtual time at the
+// given temporal-decoupling quantum and reports instructions retired
+// and kernel events dispatched.
+func runE13b(quantum int) (instr, events uint64, err error) {
+	prog, err := isa.Assemble(`
+	loop:
+		addi s0, s0, 1
+		mul  s1, s0, s0
+		j    loop
+	`)
+	if err != nil {
+		return 0, 0, err
+	}
+	k := sim.NewKernel()
+	cfg := vp.DefaultConfig(1)
+	cfg.Quantum = quantum
+	v := vp.New(k, cfg)
+	v.LoadProgram(0, prog)
+	v.Start()
+	k.RunUntil(sim.Millisecond)
+	return v.Retired(), k.Executed, nil
+}

@@ -443,3 +443,24 @@ func BenchmarkE13_MVPvsISS(b *testing.B) {
 	}
 	printTable("E13", table)
 }
+
+// --- E13b: temporal decoupling — the TLM-2.0-style time quantum
+// closes part of E13's MVP-vs-ISS gap without leaving the ISS
+// abstraction (precise mode stays the default; debugging hooks force
+// it) ---
+
+func BenchmarkE13b_TemporalDecoupling(b *testing.B) {
+	var table string
+	for i := 0; i < b.N; i++ {
+		table = "E13b: ISS with temporal decoupling (same 1ms virtual workload)\nquantum  instructions  kernel-events  events/instr\n"
+		for _, q := range []int{1, 8, 64, 512} {
+			instr, events, err := runE13b(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			table += fmt.Sprintf("%7d  %12d  %13d  %12.3f\n",
+				q, instr, events, float64(events)/float64(instr))
+		}
+	}
+	printTable("E13b", table)
+}

@@ -25,7 +25,13 @@ func main() {
 	scriptPath := flag.String("script", "", "debug script to run")
 	traceDump := flag.Bool("trace", false, "dump the trace buffer at exit")
 	demoRace := flag.Bool("demo-race", false, "run the Heisenbug race demonstration")
+	quantum := flag.Int("quantum", 1, "temporal-decoupling quantum in instructions per kernel event (1 = precise; debugging hooks force precise)")
 	flag.Parse()
+
+	if *quantum < 1 {
+		fmt.Fprintln(os.Stderr, "vpdbg: -quantum must be >= 1")
+		os.Exit(2)
+	}
 
 	if *demoRace {
 		raceDemo()
@@ -48,7 +54,9 @@ func main() {
 		progs = append(progs, p)
 	}
 	k := sim.NewKernel()
-	v := vp.New(k, vp.DefaultConfig(*cores))
+	cfg := vp.DefaultConfig(*cores)
+	cfg.Quantum = *quantum
+	v := vp.New(k, cfg)
 	for c := 0; c < *cores; c++ {
 		v.LoadProgram(c, progs[c%len(progs)])
 	}

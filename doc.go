@@ -8,6 +8,28 @@
 // designer-controlled source recoder, and a deterministic virtual
 // platform with scriptable debugging.
 //
+// # Simulation performance
+//
+// Every model runs on the internal/sim discrete-event kernel, whose
+// hot path is allocation-free: event records are pooled on a free
+// list with generation-counted handles (a stale handle's Cancel is a
+// no-op), and process wake-ups (Delay, Signal, Queue, Resource) carry
+// a typed *Proc payload instead of a per-suspension closure. The
+// kernel↔process handoff uses one single-token buffered channel per
+// direction, so a park/resume costs two channel operations rather
+// than four blocking rendezvous.
+//
+// On top of that, the virtual platform supports TLM-2.0-style
+// temporal decoupling: vp.Config.Quantum sets how many instructions a
+// core executes per kernel event, trading interleaving granularity
+// for simulation speed. Quantum=1 (the default) is precise mode, with
+// event ordering byte-identical to per-instruction stepping; precise
+// mode is also forced automatically whenever debugging hooks
+// (breakpoints, memory/IRQ watchpoints, OnStep) are installed or the
+// system is suspended, so the section-VII debugging semantics never
+// change. Deterministic replay holds at every quantum: identical
+// configurations dispatch identical event sequences.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // experiment index; bench_test.go in this directory regenerates every
 // experiment.

@@ -1,0 +1,3 @@
+module mpsockit
+
+go 1.22

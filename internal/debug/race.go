@@ -64,18 +64,33 @@ type RaceResult struct {
 	Final       uint32
 	LostUpdates uint32
 	Retired     uint64
+	// Events is the kernel's dispatched-event count — the replay
+	// fingerprint the determinism tests compare across runs.
+	Events uint64
 }
 
 // RunRace executes the given per-core program on `cores` cores and
 // returns the counter outcome. configure (optional) can attach a
-// debugger or intrusive probe before the platform starts.
+// debugger or intrusive probe before the platform starts. It runs in
+// precise (quantum=1) mode so interleavings match the seed model.
 func RunRace(cores, iters int, src string, configure func(*vp.VP)) (*RaceResult, error) {
+	return RunRaceQ(cores, iters, src, configure, 1)
+}
+
+// RunRaceQ is RunRace with an explicit temporal-decoupling quantum
+// (instructions per kernel event). Quantums above 1 coarsen the
+// interleaving between cores — and therefore can change the race
+// outcome — but any fixed quantum is still fully deterministic from
+// run to run, which is what the determinism regression tests assert.
+func RunRaceQ(cores, iters int, src string, configure func(*vp.VP), quantum int) (*RaceResult, error) {
 	prog, err := isa.Assemble(src)
 	if err != nil {
 		return nil, err
 	}
 	k := sim.NewKernel()
-	v := vp.New(k, vp.DefaultConfig(cores))
+	cfg := vp.DefaultConfig(cores)
+	cfg.Quantum = quantum
+	v := vp.New(k, cfg)
 	for c := 0; c < cores; c++ {
 		v.LoadProgram(c, prog)
 	}
@@ -97,5 +112,6 @@ func RunRace(cores, iters int, src string, configure func(*vp.VP)) (*RaceResult,
 		Final:       final,
 		LostUpdates: expected - final,
 		Retired:     v.Retired(),
+		Events:      k.Executed,
 	}, nil
 }

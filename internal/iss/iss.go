@@ -346,6 +346,24 @@ func (c *CPU) Step() int64 {
 	return cycles
 }
 
+// StepBurst executes up to max instructions back-to-back and returns
+// the number retired together with the cycles they consumed. It is the
+// temporally-decoupled fast path of the virtual platform: the caller
+// accounts the whole burst's time as one kernel event instead of one
+// per instruction. The burst ends early when the CPU halts (including
+// on an execution fault).
+func (c *CPU) StepBurst(max int) (retired int, cycles int64) {
+	for retired < max && !c.Halted {
+		cy := c.Step()
+		if cy <= 0 {
+			cy = 1
+		}
+		cycles += cy
+		retired++
+	}
+	return retired, cycles
+}
+
 // Run steps until the CPU halts or maxInstr instructions retire. It
 // returns the number of instructions retired in this call.
 func (c *CPU) Run(maxInstr uint64) uint64 {

@@ -92,6 +92,9 @@ type Result struct {
 	DispatchWait sim.Time
 	// Dispatches counts served requests.
 	Dispatches int
+	// Events is the kernel's dispatched-event count, the determinism
+	// fingerprint compared across repeated runs.
+	Events uint64
 }
 
 // Utilization is useful work over total worker time.
@@ -147,6 +150,7 @@ func Simulate(cfg Config) (*Result, error) {
 		})
 	}
 	k.Run()
+	res.Events = k.Executed
 	return res, nil
 }
 

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// The kernel is the system-wide hot path: every model (VP, OSIP, RTOS,
+// NoC, dataflow, TTDD) schedules through it. These benchmarks pin down
+// allocs/op on the three dominant operations so regressions are caught
+// immediately. The steady-state Delay path must report 0 allocs/op.
+
+func BenchmarkSchedule(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Nanosecond, fn)
+		k.Step()
+	}
+}
+
+func BenchmarkProcDelay(b *testing.B) {
+	k := NewKernel()
+	done := false
+	k.Spawn("delayer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(Nanosecond)
+		}
+		done = true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	if !done {
+		b.Fatal("delayer did not finish")
+	}
+}
+
+func BenchmarkSignalBroadcast(b *testing.B) {
+	const waiters = 8
+	k := NewKernel()
+	s := k.NewSignal()
+	stop := false
+	for w := 0; w < waiters; w++ {
+		k.Spawn("waiter", func(p *Proc) {
+			for !stop {
+				s.Wait(p)
+			}
+		})
+	}
+	k.Spawn("driver", func(p *Proc) {
+		p.Delay(Nanosecond) // let the waiters register first
+		for i := 0; i < b.N; i++ {
+			s.Broadcast()
+			p.Delay(Nanosecond) // waiters re-register before the next round
+		}
+		stop = true
+		s.Broadcast()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+	if s.Fires != uint64(b.N)+1 {
+		b.Fatalf("fired %d broadcasts, want %d", s.Fires, b.N+1)
+	}
+}

@@ -10,12 +10,29 @@
 // events at equal timestamps are ordered by (priority, insertion
 // sequence), and simulated "concurrency" is cooperative — exactly one
 // event handler or process body runs at a time.
+//
+// # Hot-path design: event pooling and closure-free wake-ups
+//
+// The kernel is the system-wide bottleneck, so its hot path is
+// allocation-free in steady state:
+//
+//   - Event records are pooled. Fired and cancelled records go on a
+//     free list and are recycled by the next Schedule instead of being
+//     heap-allocated. Each record carries a generation counter that is
+//     bumped on recycle; the public Event handle is a (record,
+//     generation) value pair, so a stale handle — one whose record has
+//     since been reused for a newer event — fails the generation check
+//     and Cancel on it is a harmless no-op. Pooling never changes the
+//     (time, priority, sequence) dispatch order, so event ordering is
+//     byte-identical to an unpooled kernel.
+//
+//   - Process wake-ups are closure-free. ScheduleProc queues a typed
+//     wake payload (the *Proc itself) instead of a func() closure, so
+//     Proc.Delay, Signal.Broadcast, Queue and Resource wake paths do
+//     not allocate a closure per suspension.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, measured in picoseconds. The
 // picosecond base lets per-core frequency scaling (section II-A of the
@@ -56,50 +73,42 @@ func (t Time) String() string {
 // Seconds converts t to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. Events are single-shot; cancelling an
-// already-fired or already-cancelled event is a no-op.
+// event is the pooled scheduling record. Exactly one of fn and proc is
+// set: fn for callback events, proc for closure-free process wake-ups.
+type event struct {
+	at    Time
+	prio  int
+	seq   uint64
+	gen   uint64
+	fn    func()
+	proc  *Proc
+	index int // heap index, -1 when not queued
+}
+
+// Event is a cancellable handle to a scheduled callback or wake-up.
+// Events are single-shot; cancelling an already-fired,
+// already-cancelled, or zero-valued handle is a no-op. The handle is a
+// value pair (record pointer, generation): the kernel recycles fired
+// records through a free list, and the generation check makes a stale
+// handle harmless even after its record has been reused.
 type Event struct {
-	at       Time
-	prio     int
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
+	e   *event
+	gen uint64
 }
 
-// Time returns the virtual time the event is (or was) scheduled for.
-func (e *Event) Time() Time { return e.at }
+// Pending reports whether the handle still refers to a queued event.
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.index >= 0
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Time returns the virtual time the event is scheduled for, or -1 once
+// it has fired or been cancelled (its record may then describe a newer
+// event).
+func (ev Event) Time() Time {
+	if !ev.Pending() {
+		return -1
 	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	return ev.e.at
 }
 
 // Kernel is a discrete-event simulator instance. It is not safe for
@@ -107,7 +116,8 @@ func (h *eventHeap) Pop() any {
 // lock-step handoff with it, for processes).
 type Kernel struct {
 	now     Time
-	queue   eventHeap
+	queue   []*event
+	free    []*event
 	seq     uint64
 	stopped bool
 	// Executed counts events dispatched since construction; useful as
@@ -130,41 +140,74 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 
 // Schedule queues fn to run after delay, with priority 0. A negative
 // delay panics: virtual time cannot run backwards.
-func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+func (k *Kernel) Schedule(delay Time, fn func()) Event {
 	return k.ScheduleP(delay, 0, fn)
 }
 
 // ScheduleP queues fn to run after delay with an explicit priority.
 // Lower priorities run first among events with equal timestamps.
-func (k *Kernel) ScheduleP(delay Time, prio int, fn func()) *Event {
+func (k *Kernel) ScheduleP(delay Time, prio int, fn func()) Event {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	return k.at(k.now+delay, prio, fn)
+	return k.at(k.now+delay, prio, fn, nil)
+}
+
+// ScheduleProc queues a wake-up of process p after delay. This is the
+// closure-free fast path used by Delay, Signal, Queue and Resource:
+// the payload is the typed *Proc, so nothing is allocated in steady
+// state. Dispatching the event resumes p exactly like a
+// Schedule(delay, func() { p.run() }) would, in the same (time,
+// priority, insertion) order.
+func (k *Kernel) ScheduleProc(delay Time, prio int, p *Proc) Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return k.at(k.now+delay, prio, nil, p)
 }
 
 // At queues fn to run at absolute time t (>= Now).
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, k.now))
 	}
-	return k.at(t, 0, fn)
+	return k.at(t, 0, fn, nil)
 }
 
-func (k *Kernel) at(t Time, prio int, fn func()) *Event {
-	e := &Event{at: t, prio: prio, seq: k.seq, fn: fn, index: -1}
+func (k *Kernel) at(t Time, prio int, fn func(), p *Proc) Event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at, e.prio, e.seq, e.fn, e.proc = t, prio, k.seq, fn, p
 	k.seq++
-	heap.Push(&k.queue, e)
-	return e
+	k.heapPush(e)
+	return Event{e: e, gen: e.gen}
 }
 
-// Cancel removes a queued event. Safe to call on fired events.
-func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
+// recycle bumps the record's generation (invalidating outstanding
+// handles) and returns it to the free list.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	e.index = -1
+	k.free = append(k.free, e)
+}
+
+// Cancel removes a queued event. Safe to call on fired, cancelled or
+// zero-valued handles: the generation check turns those into no-ops.
+func (k *Kernel) Cancel(ev Event) {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.index < 0 {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&k.queue, e.index)
+	k.heapRemove(e.index)
+	k.recycle(e)
 }
 
 // Step executes the single next event. It returns false when the queue
@@ -173,13 +216,21 @@ func (k *Kernel) Step() bool {
 	if k.stopped || len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*Event)
+	e := k.heapPop()
 	if e.at < k.now {
 		panic("sim: event queue corrupted (time went backwards)")
 	}
 	k.now = e.at
 	k.Executed++
-	e.fn()
+	fn, proc := e.fn, e.proc
+	// Recycle before dispatch: the handler may schedule new events and
+	// reuse this record immediately; fn/proc were copied out above.
+	k.recycle(e)
+	if proc != nil {
+		proc.run()
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -216,3 +267,93 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 
 // Resume clears a previous Stop so the kernel can run again.
 func (k *Kernel) Resume() { k.stopped = false }
+
+// --- Event heap (inlined binary heap; avoids container/heap's
+// interface dispatch on the hottest code in the system) ---
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(e *event) {
+	k.queue = append(k.queue, e)
+	e.index = len(k.queue) - 1
+	k.siftUp(e.index)
+}
+
+func (k *Kernel) heapPop() *event {
+	q := k.queue
+	e := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		k.queue[0] = last
+		last.index = 0
+		k.siftDown(0)
+	}
+	e.index = -1
+	return e
+}
+
+func (k *Kernel) heapRemove(i int) {
+	q := k.queue
+	e := q[i]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if i < n {
+		k.queue[i] = last
+		last.index = i
+		k.siftDown(i)
+		k.siftUp(last.index)
+	}
+	e.index = -1
+}
+
+func (k *Kernel) siftUp(i int) {
+	q := k.queue
+	e := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
+	}
+	q[i] = e
+	e.index = i
+}
+
+func (k *Kernel) siftDown(i int) {
+	q := k.queue
+	n := len(q)
+	e := q[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(q[r], q[c]) {
+			c = r
+		}
+		if !eventLess(q[c], e) {
+			break
+		}
+		q[i] = q[c]
+		q[i].index = i
+		i = c
+	}
+	q[i] = e
+	e.index = i
+}

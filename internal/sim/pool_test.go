@@ -1,0 +1,101 @@
+package sim
+
+import "testing"
+
+// The event pool recycles fired and cancelled records; these tests pin
+// the generation-counter semantics that make stale handles harmless.
+
+func TestCancelStaleHandleIsNoOp(t *testing.T) {
+	k := NewKernel()
+	first := 0
+	e1 := k.Schedule(1*Nanosecond, func() { first++ })
+	k.Run()
+	if first != 1 {
+		t.Fatalf("first event fired %d times, want 1", first)
+	}
+	// e1's record is now on the free list; the next Schedule reuses it.
+	second := 0
+	e2 := k.Schedule(1*Nanosecond, func() { second++ })
+	// Cancelling the stale handle must not touch the recycled record's
+	// new occupant.
+	k.Cancel(e1)
+	k.Run()
+	if second != 1 {
+		t.Fatalf("stale Cancel killed the recycled event (fired %d times, want 1)", second)
+	}
+	k.Cancel(e2) // cancel-after-fire stays a no-op too
+}
+
+func TestCancelledRecordIsRecycledSafely(t *testing.T) {
+	k := NewKernel()
+	e := k.Schedule(5*Nanosecond, func() { t.Fatal("cancelled event fired") })
+	k.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled handle still pending")
+	}
+	fired := false
+	k.Schedule(1*Nanosecond, func() { fired = true })
+	k.Cancel(e) // double cancel on the now-recycled record: no-op
+	k.Run()
+	if !fired {
+		t.Fatal("event scheduled after cancel did not fire")
+	}
+}
+
+func TestEventHandleTimeAndPending(t *testing.T) {
+	k := NewKernel()
+	var zero Event
+	if zero.Pending() || zero.Time() != -1 {
+		t.Fatal("zero handle must be non-pending with Time() == -1")
+	}
+	e := k.Schedule(7*Nanosecond, func() {})
+	if !e.Pending() || e.Time() != 7*Nanosecond {
+		t.Fatalf("pending handle: Pending=%v Time=%v", e.Pending(), e.Time())
+	}
+	k.Run()
+	if e.Pending() || e.Time() != -1 {
+		t.Fatal("fired handle must be non-pending with Time() == -1")
+	}
+}
+
+// Heavy churn with interleaved cancels: dispatch order must stay
+// (time, priority, sequence)-sorted through pooling and heap removal.
+func TestPooledOrderingUnderChurn(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	var handles []Event
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			i := i
+			base := round * 20
+			h := k.ScheduleP(Time(i%5)*Nanosecond, i%3, func() { got = append(got, base+i) })
+			handles = append(handles, h)
+		}
+		// Cancel every 4th pending event, then drain.
+		for i, h := range handles {
+			if i%4 == 0 {
+				k.Cancel(h)
+			}
+		}
+		k.Run()
+		handles = handles[:0]
+	}
+	want := 50 * 20 * 3 / 4
+	if len(got) != want {
+		t.Fatalf("executed %d events, want %d", len(got), want)
+	}
+}
+
+// The free list must keep the kernel's steady-state footprint bounded:
+// after heavy schedule/fire churn the pool holds at most the peak
+// number of concurrently pending events.
+func TestFreeListBounded(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 10_000; i++ {
+		k.Schedule(Nanosecond, func() {})
+		k.Step()
+	}
+	if n := len(k.free); n > 2 {
+		t.Fatalf("free list grew to %d records, want <= 2 (peak pending)", n)
+	}
+}

@@ -9,6 +9,14 @@ import "fmt"
 // blocking style (Delay, Wait, channel Get/Put) — the programming
 // model section II-C of the paper argues for: internally sequential
 // components communicating asynchronously.
+//
+// The handoff uses one single-token buffered channel per direction:
+// each side deposits a token (a buffered send that never blocks,
+// because strict alternation guarantees the buffer is empty) and then
+// blocks receiving the other side's token. That is two channel
+// operations per transfer of control instead of the four a pair of
+// unbuffered rendezvous would cost, and it is the reason park/resume
+// dominates neither CPU profiles nor allocation profiles.
 type Proc struct {
 	Name   string
 	k      *Kernel
@@ -31,8 +39,8 @@ func (k *Kernel) SpawnAfter(name string, delay Time, body func(p *Proc)) *Proc {
 	p := &Proc{
 		Name:   name,
 		k:      k,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		resume: make(chan struct{}, 1),
+		yield:  make(chan struct{}, 1),
 	}
 	k.procs++
 	go func() {
@@ -54,7 +62,7 @@ func (k *Kernel) SpawnAfter(name string, delay Time, body func(p *Proc)) *Proc {
 			body(p)
 		}
 	}()
-	k.ScheduleP(delay, 0, func() { p.run() })
+	k.ScheduleProc(delay, 0, p)
 	return p
 }
 
@@ -91,7 +99,7 @@ func (p *Proc) Delay(d Time) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	p.k.Schedule(d, func() { p.run() })
+	p.k.ScheduleProc(d, 0, p)
 	p.park()
 }
 
@@ -101,7 +109,7 @@ func (p *Proc) DelayP(d Time, prio int) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	p.k.ScheduleP(d, prio, func() { p.run() })
+	p.k.ScheduleProc(d, prio, p)
 	p.park()
 }
 
@@ -112,7 +120,7 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.Killed = true
-	p.k.Schedule(0, func() { p.run() })
+	p.k.ScheduleProc(0, 0, p)
 }
 
 // Dead reports whether the process body has returned or been killed.
@@ -121,6 +129,17 @@ func (p *Proc) Dead() bool { return p.dead }
 // LiveProcs returns the number of processes that have been spawned and
 // have not yet terminated. Useful for leak checks in tests.
 func (k *Kernel) LiveProcs() int { return k.procs }
+
+// wakeAll schedules a zero-delay closure-free wake-up for every
+// process on list, then truncates the list in place so its backing
+// array is reused by the next round of waiters (no steady-state
+// allocation). Shared by Signal.Broadcast, Queue and Resource.
+func (k *Kernel) wakeAll(list *[]*Proc) {
+	for _, p := range *list {
+		k.ScheduleProc(0, 0, p)
+	}
+	*list = (*list)[:0]
+}
 
 // Signal is a broadcast wake-up point for processes (a condition
 // variable in virtual time).
@@ -141,15 +160,12 @@ func (s *Signal) Wait(p *Proc) {
 }
 
 // Broadcast wakes all waiting processes at the current time, in the
-// order they started waiting.
+// order they started waiting. The wake-ups go through the kernel's
+// closure-free ScheduleProc path and the waiter slice's backing array
+// is retained, so a steady broadcast/re-wait cycle does not allocate.
 func (s *Signal) Broadcast() {
 	s.Fires++
-	ws := s.waiters
-	s.waiters = nil
-	for _, p := range ws {
-		pp := p
-		s.k.Schedule(0, func() { pp.run() })
-	}
+	s.k.wakeAll(&s.waiters)
 }
 
 // Waiters returns the number of processes currently waiting.

@@ -131,13 +131,10 @@ func (q *Queue) Peek() (any, bool) {
 	return q.buf[0], true
 }
 
+// wake resumes every parked process on list via the kernel's shared
+// closure-free wakeAll path.
 func (q *Queue) wake(list *[]*Proc) {
-	ws := *list
-	*list = nil
-	for _, p := range ws {
-		pp := p
-		q.k.Schedule(0, func() { pp.run() })
-	}
+	q.k.wakeAll(list)
 }
 
 // Resource is a counting semaphore in virtual time; it models
@@ -192,12 +189,7 @@ func (r *Resource) Release() {
 		panic("sim: Release without Acquire on " + r.Name)
 	}
 	r.inUse--
-	ws := r.wait
-	r.wait = nil
-	for _, p := range ws {
-		pp := p
-		r.k.Schedule(0, func() { pp.run() })
-	}
+	r.k.wakeAll(&r.wait)
 }
 
 // InUse returns the number of held units.

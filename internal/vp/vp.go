@@ -33,30 +33,41 @@ const (
 	MMIOBase   = 0xF000_0000
 
 	// Per-core MMIO registers (offset from MMIOBase).
-	RegCoreID    = 0x00 // R: core index
-	RegConsole   = 0x04 // W: append word to core's console stream
-	RegTimerPer  = 0x08 // W: start periodic timer (cycles), 0 stops
-	RegTimerCnt  = 0x0C // R: timer fire count
-	RegHaltAll   = 0x10 // W: request whole-system stop (testing aid)
-	RegMboxSend  = 0x20 // W: send to core (high 16 bits = dest, low 16 = value)
-	RegMboxRecv  = 0x24 // R: pop own mailbox (0 if empty; use status first)
-	RegMboxStat  = 0x28 // R: own mailbox depth
-	SemBase      = 0x100 // 16 semaphores, stride 8: +0 R=try-acquire, W=release
-	SemCount     = 16
-	SemStride    = 8
+	RegCoreID   = 0x00  // R: core index
+	RegConsole  = 0x04  // W: append word to core's console stream
+	RegTimerPer = 0x08  // W: start periodic timer (cycles), 0 stops
+	RegTimerCnt = 0x0C  // R: timer fire count
+	RegHaltAll  = 0x10  // W: request whole-system stop (testing aid)
+	RegMboxSend = 0x20  // W: send to core (high 16 bits = dest, low 16 = value)
+	RegMboxRecv = 0x24  // R: pop own mailbox (0 if empty; use status first)
+	RegMboxStat = 0x28  // R: own mailbox depth
+	SemBase     = 0x100 // 16 semaphores, stride 8: +0 R=try-acquire, W=release
+	SemCount    = 16
+	SemStride   = 8
 )
 
 // Config sizes a virtual platform.
 type Config struct {
-	Cores   int
-	HzPer   int64
-	Timing  *isa.Timing
+	Cores    int
+	HzPer    int64
+	Timing   *isa.Timing
 	TraceCap int
+	// Quantum is the temporal-decoupling time quantum, expressed in
+	// instructions per kernel event (TLM-2.0 style loosely-timed
+	// simulation): each core executes up to Quantum instructions
+	// back-to-back and then consumes their accumulated cycle time in a
+	// single Delay. Quantum <= 1 is precise mode — one kernel event per
+	// instruction, byte-identical event ordering to the seed model.
+	// Precise stepping is also forced automatically whenever debugging
+	// hooks (OnStep, OnMemAccess, OnIRQ) are installed or the system is
+	// suspended, so watchpoint and breakpoint semantics never change.
+	Quantum int
 }
 
-// DefaultConfig returns a 2-core 100 MHz platform.
+// DefaultConfig returns a 2-core 100 MHz platform in precise
+// (quantum=1) mode.
 func DefaultConfig(cores int) Config {
-	return Config{Cores: cores, HzPer: 100_000_000, Timing: isa.TimingRISC()}
+	return Config{Cores: cores, HzPer: 100_000_000, Timing: isa.TimingRISC(), Quantum: 1}
 }
 
 // VP is one virtual platform instance.
@@ -68,6 +79,7 @@ type VP struct {
 	Trace  *trace.Buffer
 
 	cyclePeriod sim.Time
+	quantum     int
 	suspended   bool
 	resumeSig   *sim.Signal
 	procs       []*sim.Proc
@@ -77,7 +89,7 @@ type VP struct {
 	// timer state per core
 	timerPeriod []int64
 	timerCount  []uint32
-	timerEvents []*sim.Event
+	timerEvents []sim.Event
 	// mailboxes per core
 	mbox [][]uint32
 	// semaphores
@@ -108,11 +120,15 @@ func New(k *sim.Kernel, cfg Config) *VP {
 	if cfg.HzPer <= 0 {
 		cfg.HzPer = 100_000_000
 	}
+	if cfg.Quantum < 1 {
+		cfg.Quantum = 1
+	}
 	v := &VP{
 		K:           k,
 		Shared:      make([]byte, SharedSize),
 		Trace:       trace.NewBuffer(cfg.TraceCap),
 		cyclePeriod: sim.Time(int64(sim.Second) / cfg.HzPer),
+		quantum:     cfg.Quantum,
 		resumeSig:   k.NewSignal(),
 	}
 	for i := 0; i < cfg.Cores; i++ {
@@ -125,7 +141,7 @@ func New(k *sim.Kernel, cfg Config) *VP {
 		v.Console = append(v.Console, nil)
 		v.timerPeriod = append(v.timerPeriod, 0)
 		v.timerCount = append(v.timerCount, 0)
-		v.timerEvents = append(v.timerEvents, nil)
+		v.timerEvents = append(v.timerEvents, sim.Event{})
 		v.mbox = append(v.mbox, nil)
 	}
 	return v
@@ -147,6 +163,35 @@ func (v *VP) Start() {
 			for !cpu.Halted {
 				for v.suspended {
 					v.resumeSig.Wait(p)
+				}
+				// Temporal decoupling: with a quantum > 1 and no
+				// debugging hooks installed, execute a burst of
+				// instructions locally and consume their accumulated
+				// time in one kernel event. Any hook (breakpoints,
+				// watchpoints, IRQ watch) forces precise per-instruction
+				// stepping so debug semantics are unchanged; the check
+				// is per iteration, so hooks installed mid-run take
+				// effect at the next instruction boundary.
+				if v.quantum > 1 && v.OnStep == nil && v.OnMemAccess == nil && v.OnIRQ == nil {
+					limit := v.quantum
+					if v.InstrBudget > 0 {
+						// Match the precise path's stop condition
+						// (retire until retired > InstrBudget) so both
+						// modes count identically at the budget edge.
+						if rem := v.InstrBudget - v.retired + 1; rem < uint64(limit) {
+							limit = int(rem)
+						}
+					}
+					n, cycles := cpu.StepBurst(limit)
+					v.retired += uint64(n)
+					if v.InstrBudget > 0 && v.retired > v.InstrBudget {
+						return
+					}
+					if cycles <= 0 {
+						cycles = 1
+					}
+					p.Delay(sim.Time(cycles) * v.cyclePeriod)
+					continue
 				}
 				if v.OnStep != nil && !v.OnStep(i, cpu.PC) {
 					// Parked by the debugger; the loop re-checks the
@@ -419,10 +464,9 @@ func (v *VP) mmioStore(core int, off uint32, val uint32) error {
 
 // setTimer programs core's periodic timer in core cycles.
 func (v *VP) setTimer(core int, periodCycles int64) {
-	if v.timerEvents[core] != nil {
-		v.K.Cancel(v.timerEvents[core])
-		v.timerEvents[core] = nil
-	}
+	// Cancel is a no-op on fired or zero-valued handles.
+	v.K.Cancel(v.timerEvents[core])
+	v.timerEvents[core] = sim.Event{}
 	v.timerPeriod[core] = periodCycles
 	if periodCycles <= 0 {
 		return
