@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	mapsc [-tasks N] [-min-cycles C] [-platform wireless|homog16] [-frames N] file.c
+//	mapsc [-tasks N] [-min-cycles C] [-platform wireless|homog16]
+//	      [-heuristic list|anneal|exhaustive] [-seed S] [-frames N] file.c
 //	mapsc -demo     # run the built-in JPEG case study
 package main
 
@@ -23,6 +24,8 @@ func main() {
 	tasks := flag.Int("tasks", 4, "maximum number of coarse tasks")
 	minCycles := flag.Int64("min-cycles", 500, "granularity floor in RISC cycles")
 	plat := flag.String("platform", "wireless", "target platform: wireless or homog16")
+	heuristic := flag.String("heuristic", "list", "mapping heuristic: list, anneal or exhaustive")
+	seed := flag.Uint64("seed", 1, "seed for the annealing mapper (reproducible runs)")
 	frames := flag.Int("frames", 32, "pipelined iterations to simulate")
 	fn := flag.String("fn", "main", "function to partition")
 	demo := flag.Bool("demo", false, "run the built-in JPEG case study")
@@ -53,11 +56,15 @@ func main() {
 	}
 	f.ApplyPragmas(*fn)
 
+	heur, err := mapping.ParseHeuristic(*heuristic)
+	if err != nil {
+		fatal(err)
+	}
 	target := core.DefaultPlatform()
 	if *plat == "homog16" {
 		target = core.HomogeneousPlatform(16, 1_000_000_000)
 	}
-	if err := f.MapTo(target, mapping.Options{Heuristic: mapping.List}); err != nil {
+	if err := f.MapTo(target, mapping.Options{Heuristic: heur, Seed: *seed}); err != nil {
 		fatal(err)
 	}
 	f.Iterations = *frames

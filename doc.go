@@ -30,6 +30,23 @@
 // change. Deterministic replay holds at every quantum: identical
 // configurations dispatch identical event sequences.
 //
+// # Design-space exploration
+//
+// internal/dse turns the toolkit from "runs one experiment" into
+// "serves arbitrary exploration workloads": it expands a sweep
+// specification into the cross product of platform configurations
+// (core counts, PE-class mixes, DVFS operating points, mesh-vs-bus
+// fabrics) × mapping heuristics (list/anneal/exhaustive) × workloads
+// (JPEG, H.264, car radio, synthetic task graphs, RTOS job bags) ×
+// simulation fidelities (task-level MVP, pipelined, and
+// temporally-decoupled instruction-level VP), and evaluates every
+// design point on its own kernel in a GOMAXPROCS-wide worker pool.
+// Points are seeded deterministically from the sweep seed, results
+// stream as JSONL in point order (byte-reproducible and resumable
+// from a checkpoint prefix), and the engine extracts per-workload
+// Pareto fronts over latency, energy proxy and area proxy. cmd/dse is
+// the CLI.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // experiment index; bench_test.go in this directory regenerates every
 // experiment.

@@ -109,13 +109,13 @@ func (f *Flow) Simulate() error {
 	if iters <= 0 {
 		iters = 16
 	}
-	measured, err := mapping.ExecutePipelined(f.Assign, iters)
+	stats, err := mapping.ExecutePipelined(f.Assign, iters)
 	if err != nil {
 		return err
 	}
-	f.Measured = measured
+	f.Measured = stats.Makespan
 	f.SerialBaseline = SerialMakespan(f.Part.Graph, f.Assign.Platform) * sim.Time(iters)
-	f.steps = append(f.steps, fmt.Sprintf("simulated %d pipelined iterations: makespan %v", iters, measured))
+	f.steps = append(f.steps, fmt.Sprintf("simulated %d pipelined iterations: makespan %v", iters, stats.Makespan))
 	return nil
 }
 

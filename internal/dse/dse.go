@@ -1,0 +1,192 @@
+// Package dse is the parallel design-space exploration engine: it
+// sweeps the cross product of platform configurations (core counts,
+// PE-class mixes, DVFS operating points, interconnect topologies) ×
+// mapping heuristics × workloads × simulation fidelities, evaluating
+// every design point on its own sim.Kernel in a worker pool. This is
+// the loop the paper's tooling exists to serve — MAPS maps task
+// graphs "taking into account real-time requirements and preferred PE
+// classes", and fast abstract simulation (the MVP, PR 1's temporal
+// decoupling) is what makes evaluating thousands of candidate designs
+// cheap enough to do before committing to hardware.
+//
+// Design points are embarrassingly parallel: each evaluation builds a
+// private kernel, fabric and platform, so points share no mutable
+// state and the pool scales with GOMAXPROCS. Results stream in point
+// order regardless of completion order, which makes a sweep's JSONL
+// output byte-reproducible for a given seed and resumable from a
+// checkpoint prefix.
+package dse
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"mpsockit/internal/sim"
+)
+
+// PlatSpec names one platform configuration of the sweep.
+type PlatSpec struct {
+	// Kind is homog, mpcore, celllike or wireless.
+	Kind string `json:"kind"`
+	// Cores is the core count for homog/mpcore and the DSP (SPE)
+	// count for celllike; wireless is fixed at 6.
+	Cores int `json:"cores,omitempty"`
+	// Fabric is mesh or bus.
+	Fabric string `json:"fabric"`
+	// DVFS is the frequency level index applied to every core before
+	// mapping (0 = lowest). Levels are clamped per core.
+	DVFS int `json:"dvfs"`
+}
+
+// CoreCount returns the number of PEs the spec builds.
+func (s PlatSpec) CoreCount() int {
+	switch s.Kind {
+	case "wireless":
+		return 6
+	case "celllike":
+		return s.Cores + 1
+	default:
+		return s.Cores
+	}
+}
+
+func (s PlatSpec) String() string {
+	name := s.Kind
+	if s.Kind != "wireless" {
+		name += strconv.Itoa(s.Cores)
+	}
+	return name + "/" + s.Fabric + "/d" + strconv.Itoa(s.DVFS)
+}
+
+// Point is one design point: everything needed to evaluate it,
+// serializable so sweeps checkpoint and resume.
+type Point struct {
+	ID int `json:"id"`
+	// Seed drives the point's mapping heuristic (annealing moves).
+	Seed uint64   `json:"seed"`
+	Plat PlatSpec `json:"plat"`
+	// Workload is jpeg, h264, carradio, synth or jobs.
+	Workload string `json:"wl"`
+	// N sizes parameterized workloads: task count for synth, job
+	// count for jobs.
+	N int `json:"n,omitempty"`
+	// WorkloadSeed generates the workload instance; shared by every
+	// point of the sweep that uses the same workload, so heuristics
+	// and platforms are compared on identical inputs.
+	WorkloadSeed uint64 `json:"wl_seed"`
+	// Heuristic is list, anneal or exhaustive ("-" for jobs, which
+	// the RTOS schedules online).
+	Heuristic string `json:"heur"`
+	// Fidelity is mvp (one-shot task-level mapping.Execute), pipe
+	// (pipelined task-level), vp (instruction-level virtual platform
+	// with temporal decoupling) or rtos (online scheduler).
+	Fidelity string `json:"fid"`
+	// Iterations is the pipelined frame count (pipe fidelity).
+	Iterations int `json:"iters,omitempty"`
+	// Quantum is the temporal-decoupling quantum in instructions per
+	// kernel event (vp fidelity).
+	Quantum int `json:"quantum,omitempty"`
+}
+
+// Metrics is the measurement record of one evaluated design point.
+// Latency, energy and area feed the Pareto extraction; the rest are
+// diagnostics (utilization, interconnect pressure, simulation cost).
+type Metrics struct {
+	Makespan     sim.Time `json:"makespan_ps"`
+	ThroughputHz float64  `json:"throughput_hz"`
+	// BusyPS is total compute time summed over PEs.
+	BusyPS   int64   `json:"busy_ps"`
+	UtilMean float64 `json:"util_mean"`
+	UtilMax  float64 `json:"util_max"`
+	// Energy is the proxy: per-PE busy-seconds weighted by f³ (DVFS
+	// voltage scaling) plus an idle-leakage term, plus a per-switch
+	// DVFS transition charge.
+	Energy float64 `json:"energy"`
+	// Area is the proxy: PE-class weights plus interconnect area.
+	Area         float64 `json:"area"`
+	NoCTransfers uint64  `json:"noc_transfers"`
+	NoCWaitPS    int64   `json:"noc_wait_ps"`
+	FreqSwitches uint64  `json:"freq_switches,omitempty"`
+	// SimEvents counts kernel events dispatched evaluating the point
+	// (the abstraction-level cost measure of experiment E13).
+	SimEvents uint64 `json:"sim_events"`
+	// VPInstr counts ISS instructions retired (vp fidelity only).
+	VPInstr uint64 `json:"vp_instr,omitempty"`
+	// MissRate is the deadline miss fraction (jobs workload only).
+	MissRate float64 `json:"miss_rate,omitempty"`
+}
+
+// Result pairs a point with its metrics; Err records evaluation
+// failures (e.g. an exhaustive search space overflow) without
+// aborting the sweep.
+type Result struct {
+	Point   Point   `json:"point"`
+	Metrics Metrics `json:"metrics"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Engine runs sweeps over a pool of workers.
+type Engine struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnResult, when set, receives every result in point order (not
+	// completion order) — results stream as soon as the ordered
+	// prefix is complete, so a consumer writing JSONL produces
+	// identical bytes for any worker count.
+	OnResult func(Result)
+}
+
+// Run evaluates every point and returns the results in input order.
+func (e *Engine) Run(points []Point) []Result {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]Result, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	completed := make(chan int, len(points))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = Evaluate(points[idx])
+				completed <- idx
+			}
+		}()
+	}
+	// Collector: release results to OnResult in point order.
+	var collWG sync.WaitGroup
+	collWG.Add(1)
+	go func() {
+		defer collWG.Done()
+		ready := make(map[int]bool, workers)
+		next := 0
+		for idx := range completed {
+			ready[idx] = true
+			for ready[next] {
+				delete(ready, next)
+				if e.OnResult != nil {
+					e.OnResult(results[next])
+				}
+				next++
+			}
+		}
+	}()
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(completed)
+	collWG.Wait()
+	return results
+}

@@ -1,0 +1,369 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsockit/internal/isa"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/noc"
+	"mpsockit/internal/platform"
+	"mpsockit/internal/rtos"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/vp"
+	"mpsockit/internal/workload"
+	"mpsockit/internal/xrand"
+)
+
+// classArea is the relative silicon cost of one PE of each class
+// (RISC control core = 1), used by the area proxy.
+var classArea = map[platform.PEClass]float64{
+	platform.RISC: 1.0,
+	platform.DSP:  1.3,
+	platform.VLIW: 2.2,
+	platform.ACC:  0.7,
+	platform.CTRL: 1.8,
+}
+
+// Evaluate scores one design point on a private kernel. It never
+// panics the sweep: evaluation failures come back in Result.Err.
+func Evaluate(p Point) Result {
+	m, err := evaluate(p)
+	r := Result{Point: p, Metrics: m}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	return r
+}
+
+func evaluate(p Point) (Metrics, error) {
+	k := sim.NewKernel()
+	plat, area, err := buildPlatform(k, p.Plat)
+	if err != nil {
+		return Metrics{}, err
+	}
+	if p.Workload == "jobs" {
+		return evalJobs(p, k, plat, area)
+	}
+	g, err := buildGraph(p)
+	if err != nil {
+		return Metrics{}, err
+	}
+	heur, err := mapping.ParseHeuristic(p.Heuristic)
+	if err != nil {
+		return Metrics{}, err
+	}
+	opt := mapping.Options{Heuristic: heur, Seed: p.Seed}
+	units := 1
+	if p.Fidelity == "pipe" {
+		// Streaming fidelity optimizes for throughput, the MAPS
+		// objective for multimedia codecs.
+		opt.Objective = mapping.Throughput
+		units = p.Iterations
+		if units <= 0 {
+			units = 8
+		}
+	}
+	a, err := mapping.Map(g, plat, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var stats mapping.ExecStats
+	switch p.Fidelity {
+	case "mvp", "vp":
+		stats, err = mapping.Execute(a)
+	case "pipe":
+		stats, err = mapping.ExecutePipelined(a, units)
+	default:
+		return Metrics{}, fmt.Errorf("dse: unknown fidelity %q", p.Fidelity)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := metricsFrom(plat, stats, area, units)
+	m.SimEvents = k.Executed
+	if p.Fidelity == "vp" {
+		makespan, events, instr, err := vpRefine(p, stats)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.Makespan = makespan
+		m.ThroughputHz = float64(units) / makespan.Seconds()
+		m.SimEvents = events
+		m.VPInstr = instr
+	}
+	return m, nil
+}
+
+// buildPlatform constructs the spec'd platform on kernel k and
+// returns it with its area proxy.
+func buildPlatform(k *sim.Kernel, spec PlatSpec) (*platform.Platform, float64, error) {
+	n := spec.CoreCount()
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("dse: platform %v has no cores", spec)
+	}
+	var fabric platform.Fabric
+	var fabricArea float64
+	switch spec.Fabric {
+	case "mesh":
+		m := noc.MeshFor(k, n)
+		fabric = m
+		fabricArea = 0.08 * float64(m.W*m.H)
+	case "bus":
+		fabric = noc.DefaultBus(k)
+		fabricArea = 0.4
+	default:
+		return nil, 0, fmt.Errorf("dse: unknown fabric %q", spec.Fabric)
+	}
+	var plat *platform.Platform
+	switch spec.Kind {
+	case "homog":
+		plat = platform.NewHomogeneous(k, n, 1_000_000_000, fabric)
+	case "mpcore":
+		plat = platform.NewMPCoreLike(k, n, fabric)
+	case "celllike":
+		plat = platform.NewCellLike(k, spec.Cores, fabric)
+	case "wireless":
+		plat = platform.NewWirelessTerminal(k, fabric)
+	default:
+		return nil, 0, fmt.Errorf("dse: unknown platform kind %q", spec.Kind)
+	}
+	area := fabricArea
+	for _, c := range plat.Cores {
+		// Pin the swept DVFS operating point as the nominal level and
+		// zero the transition counter so metrics only record runtime
+		// switches (e.g. boosts by the RTOS governor).
+		lvl := spec.DVFS
+		if lvl >= len(c.Levels) {
+			lvl = len(c.Levels) - 1
+		}
+		if lvl < 0 {
+			lvl = 0
+		}
+		if err := c.SetLevel(lvl); err != nil {
+			return nil, 0, err
+		}
+		c.SetNominal()
+		c.FreqSwitches = 0
+		area += classArea[c.Class] + 0.2*float64(c.L1Bytes+c.L2Bytes)/float64(256<<10)
+	}
+	return plat, area, nil
+}
+
+// buildGraph returns the point's workload task graph.
+func buildGraph(p Point) (*taskgraph.Graph, error) {
+	switch p.Workload {
+	case "jpeg":
+		return workload.JPEGTaskGraph(), nil
+	case "h264":
+		return workload.H264TaskGraph(), nil
+	case "carradio":
+		return workload.CarRadioTaskGraph(), nil
+	case "synth":
+		n := p.N
+		if n <= 0 {
+			n = 16
+		}
+		return workload.SyntheticTaskGraph(n, p.WorkloadSeed), nil
+	}
+	return nil, fmt.Errorf("dse: unknown workload %q", p.Workload)
+}
+
+// coreEnergy is the per-core energy proxy over one run: dynamic power
+// ∝ V²f with V tracking f (so busy·f³) plus idle leakage ∝ f. One
+// model for every workload kind, so cross-workload Pareto comparisons
+// stay consistent.
+func coreEnergy(busyS, makespanS, ghz float64) float64 {
+	return busyS*ghz*ghz*ghz + (makespanS-busyS)*0.05*ghz
+}
+
+// freqSwitchCharge is the fixed energy charged per DVFS transition.
+const freqSwitchCharge = 1e-6
+
+// metricsFrom folds an execution record into the metric vector.
+func metricsFrom(plat *platform.Platform, stats mapping.ExecStats, area float64, units int) Metrics {
+	m := Metrics{
+		Makespan:     stats.Makespan,
+		BusyPS:       int64(stats.BusyTotal()),
+		Area:         area,
+		NoCTransfers: stats.Fabric.Transfers,
+		NoCWaitPS:    int64(stats.Fabric.Wait),
+	}
+	if stats.Makespan > 0 {
+		m.ThroughputHz = float64(units) / stats.Makespan.Seconds()
+	}
+	util := stats.Utilization()
+	for _, u := range util {
+		m.UtilMean += u
+		if u > m.UtilMax {
+			m.UtilMax = u
+		}
+	}
+	if len(util) > 0 {
+		m.UtilMean /= float64(len(util))
+	}
+	makespanS := stats.Makespan.Seconds()
+	for i, c := range plat.Cores {
+		var busyS float64
+		if i < len(stats.PEBusy) {
+			busyS = stats.PEBusy[i].Seconds()
+		}
+		m.Energy += coreEnergy(busyS, makespanS, float64(c.Hz())/1e9)
+		m.FreqSwitches += c.FreqSwitches
+	}
+	m.Energy += float64(m.FreqSwitches) * freqSwitchCharge
+	return m
+}
+
+// vpRefine re-measures the point's compute at instruction granularity:
+// each busy PE's compute time becomes a calibrated MR32 loop on an ISS
+// core of a temporally-decoupled virtual platform (vp.Config.Quantum =
+// Point.Quantum). The refined makespan is the VP-measured compute of
+// the bottleneck core plus the task-level communication slack; the
+// returned event/instruction counts expose the fidelity-versus-cost
+// trade of experiment E13.
+func vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint64, uint64, error) {
+	type peBusy struct {
+		pe   int
+		busy sim.Time
+	}
+	var busiest []peBusy
+	for pe, b := range stats.PEBusy {
+		if b > 0 {
+			busiest = append(busiest, peBusy{pe, b})
+		}
+	}
+	if len(busiest) == 0 {
+		return stats.Makespan, 0, 0, nil
+	}
+	sort.Slice(busiest, func(i, j int) bool {
+		if busiest[i].busy != busiest[j].busy {
+			return busiest[i].busy > busiest[j].busy
+		}
+		return busiest[i].pe < busiest[j].pe
+	})
+	// The VP models up to 16 ISS cores (1 MiB local store each); for
+	// wider platforms the tail PEs are below the bottleneck anyway.
+	if len(busiest) > 16 {
+		busiest = busiest[:16]
+	}
+	maxBusy := busiest[0].busy
+	cfg := vp.DefaultConfig(len(busiest))
+	cfg.Quantum = p.Quantum
+	if cfg.Quantum < 1 {
+		cfg.Quantum = 1
+	}
+	vk := sim.NewKernel()
+	v := vp.New(vk, cfg)
+	cyclePS := int64(sim.Second) / cfg.HzPer
+	// Loop body: addi(1) + mul(3) + bne(2) = 6 cycles under TimingRISC.
+	const cyclesPerIter = 6
+	for i, e := range busiest {
+		iters := int64(e.busy) / cyclePS / cyclesPerIter
+		if iters < 1 {
+			iters = 1
+		}
+		prog, err := isa.Assemble(fmt.Sprintf(`
+	li r10, %d
+loop:
+	addi r8, r8, 1
+	mul  r9, r8, r8
+	bne  r8, r10, loop
+	halt
+`, iters))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v.LoadProgram(i, prog)
+	}
+	v.Start()
+	if !v.RunUntilHalted(stats.Makespan + maxBusy + sim.Millisecond) {
+		return 0, 0, 0, fmt.Errorf("dse: vp refinement did not halt (point %d)", p.ID)
+	}
+	slack := stats.Makespan - maxBusy
+	return slack + vk.Now(), vk.Executed, v.Retired(), nil
+}
+
+// evalJobs scores a jobs design point: a deterministic bag of moldable
+// parallel and sequential jobs submitted to the section II-B hybrid
+// time-/space-shared RTOS scheduler, with reactive DVFS boosting. The
+// mapping heuristic is not used — placement is the scheduler's.
+func evalJobs(p Point, k *sim.Kernel, plat *platform.Platform, area float64) (Metrics, error) {
+	// One time-shared core for sequential jobs; the rest gang-schedule.
+	for i, c := range plat.Cores {
+		c.SpaceShared = i != 0
+	}
+	s := rtos.NewHybrid(k, plat, rtos.DefaultConfig())
+	r := xrand.New(p.WorkloadSeed)
+	n := p.N
+	if n <= 0 {
+		n = 32
+	}
+	var totalCycles int64
+	for i := 0; i < n; i++ {
+		j := &rtos.Job{
+			Name:       fmt.Sprintf("job%d", i),
+			Kind:       rtos.Sequential,
+			WorkCycles: r.Range(500_000, 4_000_000),
+			MaxWidth:   1,
+		}
+		if r.Bool(0.7) {
+			j.Kind = rtos.Parallel
+			j.MaxWidth = 1 + r.Intn(4)
+		}
+		if r.Bool(0.5) {
+			j.Deadline = sim.Time(r.Range(int64(2*sim.Millisecond), int64(20*sim.Millisecond)))
+		}
+		totalCycles += j.WorkCycles
+		s.Submit(j)
+	}
+	// Bound the run by the bag itself: all work serialized onto the
+	// slowest core, with generous headroom for context switches and
+	// scheduling gaps. The kernel stops as soon as the bag drains, so
+	// a large bound costs nothing — a fixed cap would spuriously fail
+	// big bags on slow/low-DVFS platforms.
+	minHz := plat.Cores[0].Hz()
+	for _, c := range plat.Cores {
+		if c.Hz() < minHz {
+			minHz = c.Hz()
+		}
+	}
+	bound := sim.Time(float64(totalCycles)/float64(minHz)*float64(sim.Second))*4 + 100*sim.Millisecond
+	k.RunUntil(bound)
+	st := s.Stats()
+	if st.Completed != n {
+		return Metrics{}, fmt.Errorf("dse: jobs run completed %d/%d", st.Completed, n)
+	}
+	var makespan sim.Time
+	for _, j := range s.Done() {
+		if j.Finished > makespan {
+			makespan = j.Finished
+		}
+	}
+	m := Metrics{
+		Makespan: makespan,
+		BusyPS:   int64(st.BusyTime),
+		Area:     area,
+		MissRate: st.MissRate(),
+	}
+	m.SimEvents = k.Executed
+	fs := platform.FabricStatsOf(plat.Fabric)
+	m.NoCTransfers = fs.Transfers
+	m.NoCWaitPS = int64(fs.Wait)
+	if makespan > 0 {
+		m.ThroughputHz = float64(n) / makespan.Seconds()
+		// Aggregate utilization: busy core-seconds over the run's
+		// core-seconds.
+		m.UtilMean = st.BusyTime.Seconds() / (makespan.Seconds() * float64(len(plat.Cores)))
+		m.UtilMax = m.UtilMean
+	}
+	makespanS := makespan.Seconds()
+	busyPer := st.BusyTime.Seconds() / float64(len(plat.Cores))
+	for _, c := range plat.Cores {
+		m.Energy += coreEnergy(busyPer, makespanS, float64(c.Hz())/1e9)
+		m.FreqSwitches += c.FreqSwitches
+	}
+	m.Energy += float64(m.FreqSwitches) * freqSwitchCharge
+	return m, nil
+}

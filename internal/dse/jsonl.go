@@ -1,0 +1,67 @@
+package dse
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"reflect"
+)
+
+// WriteResult appends one result as a JSONL line. Encoding a Result
+// is deterministic (fixed field order, no maps), so a sweep streamed
+// through an ordered Engine.OnResult produces byte-identical files
+// run-to-run for the same seed.
+func WriteResult(w io.Writer, r Result) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// MatchPrefix returns the longest prefix of results that corresponds
+// point-for-point to the expanded sweep — the reusable part of a
+// checkpoint. A result matches when its embedded point (spec and
+// seeds) is identical to the expansion, so a checkpoint from a
+// different sweep, seed or engine version is discarded rather than
+// silently merged.
+func MatchPrefix(points []Point, results []Result) []Result {
+	n := 0
+	for n < len(results) && n < len(points) && reflect.DeepEqual(results[n].Point, points[n]) {
+		n++
+	}
+	return results[:n]
+}
+
+// LoadCheckpoint reads a JSONL results file and returns the prefix
+// that is valid for the given point expansion. A missing file is an
+// empty checkpoint, not an error, and parsing stops at the first
+// malformed line — a crash mid-write leaves a torn final line, and
+// everything from there on is re-evaluated anyway.
+func LoadCheckpoint(path string, points []Point) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var results []Result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			break
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return MatchPrefix(points, results), nil
+}

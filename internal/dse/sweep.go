@@ -1,0 +1,288 @@
+package dse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mpsockit/internal/xrand"
+)
+
+// WorkloadSpec names one workload dimension value.
+type WorkloadSpec struct {
+	Kind string // jpeg | h264 | carradio | synth | jobs
+	N    int    // synth task count / jobs job count
+}
+
+func (w WorkloadSpec) String() string {
+	if w.N > 0 {
+		return fmt.Sprintf("%s%d", w.Kind, w.N)
+	}
+	return w.Kind
+}
+
+// FidelitySpec names one simulation-fidelity dimension value.
+type FidelitySpec struct {
+	Kind       string // mvp | pipe | vp
+	Iterations int    // pipe
+	Quantum    int    // vp
+}
+
+func (f FidelitySpec) String() string {
+	switch f.Kind {
+	case "pipe":
+		return fmt.Sprintf("pipe%d", f.Iterations)
+	case "vp":
+		return fmt.Sprintf("vp%d", f.Quantum)
+	}
+	return f.Kind
+}
+
+// Sweep is a design-space description: the cross product of its
+// dimensions expands to the point list. Platform × DVFS × workload ×
+// heuristic × fidelity; jobs workloads collapse the heuristic and
+// fidelity axes (the RTOS schedules online).
+type Sweep struct {
+	Seed       uint64
+	Platforms  []PlatSpec // Fabric/DVFS fields ignored; crossed below
+	Fabrics    []string
+	DVFS       []int
+	Workloads  []WorkloadSpec
+	Heuristics []string
+	Fidelities []FidelitySpec
+}
+
+// seedFor derives the deterministic per-point (or per-workload) seed
+// stream: mixing the sweep seed with a label through SplitMix64 keeps
+// streams independent.
+func seedFor(seed uint64, label string, n int) uint64 {
+	h := seed
+	for _, b := range []byte(label) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h ^= uint64(n) * 0x9e3779b97f4a7c15
+	return xrand.New(h).Uint64()
+}
+
+// Points expands the sweep into its design points. Expansion order is
+// deterministic (platform-major), point IDs are sequential, and every
+// point's seeds derive from Sweep.Seed alone — the same sweep expands
+// to byte-identical points every time.
+func (s *Sweep) Points() ([]Point, error) {
+	if len(s.Platforms) == 0 || len(s.Workloads) == 0 {
+		return nil, fmt.Errorf("dse: sweep needs at least one platform and one workload")
+	}
+	fabrics := s.Fabrics
+	if len(fabrics) == 0 {
+		fabrics = []string{"mesh"}
+	}
+	dvfs := s.DVFS
+	if len(dvfs) == 0 {
+		dvfs = []int{1}
+	}
+	heuristics := s.Heuristics
+	if len(heuristics) == 0 {
+		heuristics = []string{"list"}
+	}
+	fidelities := s.Fidelities
+	if len(fidelities) == 0 {
+		fidelities = []FidelitySpec{{Kind: "mvp"}}
+	}
+	var points []Point
+	for _, plat := range s.Platforms {
+		for _, fab := range fabrics {
+			for _, d := range dvfs {
+				for _, wl := range s.Workloads {
+					heurs, fids := heuristics, fidelities
+					if wl.Kind == "jobs" {
+						heurs = []string{"-"}
+						fids = []FidelitySpec{{Kind: "rtos"}}
+					}
+					for _, h := range heurs {
+						for _, f := range fids {
+							ps := plat
+							ps.Fabric = fab
+							ps.DVFS = d
+							id := len(points)
+							points = append(points, Point{
+								ID:           id,
+								Seed:         seedFor(s.Seed, "point", id),
+								Plat:         ps,
+								Workload:     wl.Kind,
+								N:            wl.N,
+								WorkloadSeed: seedFor(s.Seed, "wl/"+wl.Kind, wl.N),
+								Heuristic:    h,
+								Fidelity:     f.Kind,
+								Iterations:   f.Iterations,
+								Quantum:      f.Quantum,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// ParseSweep builds a sweep from a compact spec string. Named presets:
+//
+//	smoke    ~20 points (CI-sized)
+//	default  ~500 points over 4 platform families × 2 fabrics ×
+//	         3 DVFS points × 5 workloads × 2 heuristics × mvp+vp
+//
+// or a ';'-separated dimension list:
+//
+//	plat=homog8,wireless,celllike4,mpcore2;fab=mesh,bus;dvfs=0,1,2;
+//	wl=jpeg,h264,carradio,synth16,jobs32;heur=list,anneal,exhaustive;
+//	fid=mvp,pipe8,vp64
+//
+// Unspecified dimensions default to fab=mesh, dvfs=1, heur=list,
+// fid=mvp.
+func ParseSweep(spec string, seed uint64) (*Sweep, error) {
+	s := &Sweep{Seed: seed}
+	switch spec {
+	case "smoke":
+		s.Platforms = []PlatSpec{{Kind: "homog", Cores: 2}, {Kind: "homog", Cores: 4}, {Kind: "wireless"}}
+		s.Workloads = []WorkloadSpec{{Kind: "jpeg"}, {Kind: "carradio"}, {Kind: "synth", N: 12}}
+		s.Heuristics = []string{"list", "anneal"}
+		s.Fidelities = []FidelitySpec{{Kind: "mvp"}}
+		return s, nil
+	case "default", "":
+		s.Platforms = []PlatSpec{
+			{Kind: "homog", Cores: 2}, {Kind: "homog", Cores: 4},
+			{Kind: "homog", Cores: 8}, {Kind: "homog", Cores: 16},
+			{Kind: "wireless"}, {Kind: "celllike", Cores: 4},
+		}
+		s.Fabrics = []string{"mesh", "bus"}
+		s.DVFS = []int{0, 1, 2}
+		s.Workloads = []WorkloadSpec{
+			{Kind: "jpeg"}, {Kind: "h264"}, {Kind: "carradio"},
+			{Kind: "synth", N: 16}, {Kind: "jobs", N: 32},
+		}
+		s.Heuristics = []string{"list", "anneal"}
+		s.Fidelities = []FidelitySpec{{Kind: "mvp"}, {Kind: "vp", Quantum: 64}}
+		return s, nil
+	}
+	for _, dim := range strings.Split(spec, ";") {
+		dim = strings.TrimSpace(dim)
+		if dim == "" {
+			continue
+		}
+		key, vals, ok := strings.Cut(dim, "=")
+		if !ok {
+			return nil, fmt.Errorf("dse: bad sweep dimension %q (want key=v1,v2,...)", dim)
+		}
+		for _, val := range strings.Split(vals, ",") {
+			val = strings.TrimSpace(val)
+			if val == "" {
+				continue
+			}
+			switch key {
+			case "plat":
+				ps, err := parsePlat(val)
+				if err != nil {
+					return nil, err
+				}
+				s.Platforms = append(s.Platforms, ps)
+			case "fab":
+				if val != "mesh" && val != "bus" {
+					return nil, fmt.Errorf("dse: unknown fabric %q", val)
+				}
+				s.Fabrics = append(s.Fabrics, val)
+			case "dvfs":
+				d, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("dse: bad dvfs level %q", val)
+				}
+				s.DVFS = append(s.DVFS, d)
+			case "wl":
+				w, err := parseWorkload(val)
+				if err != nil {
+					return nil, err
+				}
+				s.Workloads = append(s.Workloads, w)
+			case "heur":
+				if val != "list" && val != "anneal" && val != "exhaustive" {
+					return nil, fmt.Errorf("dse: unknown heuristic %q", val)
+				}
+				s.Heuristics = append(s.Heuristics, val)
+			case "fid":
+				f, err := parseFidelity(val)
+				if err != nil {
+					return nil, err
+				}
+				s.Fidelities = append(s.Fidelities, f)
+			default:
+				return nil, fmt.Errorf("dse: unknown sweep dimension %q", key)
+			}
+		}
+	}
+	if len(s.Platforms) == 0 {
+		s.Platforms = []PlatSpec{{Kind: "homog", Cores: 4}, {Kind: "wireless"}}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []WorkloadSpec{{Kind: "jpeg"}}
+	}
+	return s, nil
+}
+
+// parsePlat parses a platform token: homogN, mpcoreN, celllikeN (N =
+// SPE count) or wireless.
+func parsePlat(tok string) (PlatSpec, error) {
+	if tok == "wireless" {
+		return PlatSpec{Kind: "wireless"}, nil
+	}
+	for _, kind := range []string{"homog", "mpcore", "celllike"} {
+		if rest, ok := strings.CutPrefix(tok, kind); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 || n > 64 {
+				return PlatSpec{}, fmt.Errorf("dse: bad platform token %q (want e.g. %s4)", tok, kind)
+			}
+			return PlatSpec{Kind: kind, Cores: n}, nil
+		}
+	}
+	return PlatSpec{}, fmt.Errorf("dse: unknown platform %q", tok)
+}
+
+// parseWorkload parses a workload token: jpeg, h264, carradio, synthN
+// or jobsN.
+func parseWorkload(tok string) (WorkloadSpec, error) {
+	switch tok {
+	case "jpeg", "h264", "carradio":
+		return WorkloadSpec{Kind: tok}, nil
+	}
+	for _, kind := range []string{"synth", "jobs"} {
+		if rest, ok := strings.CutPrefix(tok, kind); ok {
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 2 || n > 512 {
+				return WorkloadSpec{}, fmt.Errorf("dse: bad workload token %q (want e.g. %s16)", tok, kind)
+			}
+			return WorkloadSpec{Kind: kind, N: n}, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("dse: unknown workload %q", tok)
+}
+
+// parseFidelity parses a fidelity token: mvp, pipeN (N pipelined
+// iterations) or vpN (N-instruction temporal-decoupling quantum).
+func parseFidelity(tok string) (FidelitySpec, error) {
+	if tok == "mvp" {
+		return FidelitySpec{Kind: "mvp"}, nil
+	}
+	if rest, ok := strings.CutPrefix(tok, "pipe"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return FidelitySpec{}, fmt.Errorf("dse: bad fidelity token %q (want e.g. pipe8)", tok)
+		}
+		return FidelitySpec{Kind: "pipe", Iterations: n}, nil
+	}
+	if rest, ok := strings.CutPrefix(tok, "vp"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return FidelitySpec{}, fmt.Errorf("dse: bad fidelity token %q (want e.g. vp64)", tok)
+		}
+		return FidelitySpec{Kind: "vp", Quantum: n}, nil
+	}
+	return FidelitySpec{}, fmt.Errorf("dse: unknown fidelity %q", tok)
+}

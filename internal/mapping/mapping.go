@@ -44,6 +44,20 @@ func (h Heuristic) String() string {
 	}
 }
 
+// ParseHeuristic converts a heuristic name ("list", "anneal",
+// "exhaustive") to a Heuristic.
+func ParseHeuristic(s string) (Heuristic, error) {
+	switch s {
+	case "list":
+		return List, nil
+	case "anneal":
+		return Anneal, nil
+	case "exhaustive":
+		return Exhaustive, nil
+	}
+	return 0, fmt.Errorf("mapping: unknown heuristic %q", s)
+}
+
 // Objective selects what Map optimizes: one-shot makespan (latency)
 // or pipeline throughput (bottleneck stage time) — MAPS uses the
 // latter for streaming multimedia codecs.
@@ -156,15 +170,17 @@ func Map(g *taskgraph.Graph, plat *platform.Platform, opt Options) (*Assignment,
 	}
 	var taskPE []int
 	var err error
-	switch {
-	case opt.Objective == Throughput:
-		taskPE, err = throughputMap(g, plat)
-	case opt.Heuristic == List:
-		taskPE, err = listMap(g, plat)
-	case opt.Heuristic == Anneal:
+	switch opt.Heuristic {
+	case List:
+		if opt.Objective == Throughput {
+			taskPE, err = throughputMap(g, plat)
+		} else {
+			taskPE, err = listMap(g, plat)
+		}
+	case Anneal:
 		taskPE, err = annealMap(g, plat, opt)
-	case opt.Heuristic == Exhaustive:
-		taskPE, err = exhaustiveMap(g, plat)
+	case Exhaustive:
+		taskPE, err = exhaustiveMap(g, plat, opt.Objective)
 	default:
 		return nil, fmt.Errorf("mapping: unknown heuristic %d", opt.Heuristic)
 	}
@@ -304,10 +320,40 @@ func throughputMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 	return taskPE, nil
 }
 
-// annealMap refines the list mapping with simulated annealing over
-// task moves; deterministic under Options.Seed.
+// objectiveCost scores an assignment under the selected objective:
+// static-schedule makespan, or the pipeline's steady-state period
+// (the most-loaded core) for throughput.
+func objectiveCost(g *taskgraph.Graph, plat *platform.Platform, objective Objective, assign []int) sim.Time {
+	if objective == Throughput {
+		load := make([]sim.Time, len(plat.Cores))
+		var worst sim.Time
+		for id, pe := range assign {
+			core := plat.Core(pe)
+			load[pe] += core.Cycles(g.Tasks[id].CyclesOn(core.Class))
+			if load[pe] > worst {
+				worst = load[pe]
+			}
+		}
+		return worst
+	}
+	mk, _, err := evaluate(g, plat, assign)
+	if err != nil {
+		return sim.Forever
+	}
+	return mk
+}
+
+// annealMap refines the list (or, for throughput, LPT) mapping with
+// simulated annealing over task moves, optimizing the selected
+// objective; deterministic under Options.Seed.
 func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int, error) {
-	cur, err := listMap(g, plat)
+	var cur []int
+	var err error
+	if opt.Objective == Throughput {
+		cur, err = throughputMap(g, plat)
+	} else {
+		cur, err = listMap(g, plat)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -317,11 +363,7 @@ func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int,
 	}
 	rng := xrand.New(opt.Seed + 1)
 	cost := func(assign []int) sim.Time {
-		mk, _, err := evaluate(g, plat, assign)
-		if err != nil {
-			return sim.Forever
-		}
-		return mk
+		return objectiveCost(g, plat, opt.Objective, assign)
 	}
 	curCost := cost(cur)
 	best := append([]int{}, cur...)
@@ -346,9 +388,10 @@ func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int,
 	return best, nil
 }
 
-// exhaustiveMap enumerates all feasible assignments; guarded to small
-// instances (the paper's exploration loop for design studies).
-func exhaustiveMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+// exhaustiveMap enumerates all feasible assignments under the
+// selected objective; guarded to small instances (the paper's
+// exploration loop for design studies).
+func exhaustiveMap(g *taskgraph.Graph, plat *platform.Platform, objective Objective) ([]int, error) {
 	n := len(g.Tasks)
 	cands := make([][]int, n)
 	space := 1
@@ -365,9 +408,9 @@ func exhaustiveMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == n {
-			mk, _, err := evaluate(g, plat, assign)
-			if err == nil && mk < bestCost {
-				bestCost = mk
+			c := objectiveCost(g, plat, objective, assign)
+			if c < bestCost {
+				bestCost = c
 				copy(best, assign)
 			}
 			return
@@ -439,15 +482,49 @@ func (a *Assignment) Gantt() string {
 	return b.String()
 }
 
+// ExecStats is the measurement record a simulated execution returns:
+// the makespan, per-PE busy time (compute only, excluding contention
+// stalls), and the fabric traffic generated during the run. It feeds
+// dse.Metrics — utilization, energy proxies and NoC pressure all
+// derive from it.
+type ExecStats struct {
+	Makespan sim.Time
+	// PEBusy[pe] is the time core pe spent computing tasks.
+	PEBusy []sim.Time
+	// Fabric is the traffic delta attributable to this run.
+	Fabric platform.FabricStats
+}
+
+// BusyTotal sums compute time over all PEs.
+func (s ExecStats) BusyTotal() sim.Time {
+	var total sim.Time
+	for _, b := range s.PEBusy {
+		total += b
+	}
+	return total
+}
+
+// Utilization returns per-PE busy fraction of the makespan.
+func (s ExecStats) Utilization() []float64 {
+	out := make([]float64, len(s.PEBusy))
+	if s.Makespan <= 0 {
+		return out
+	}
+	for i, b := range s.PEBusy {
+		out[i] = float64(b) / float64(s.Makespan)
+	}
+	return out
+}
+
 // Execute runs the assignment on the event-driven platform model with
 // genuine fabric contention (transfers share links) — the high-level
 // "virtual platform" simulation of section IV. It uses the platform's
 // kernel, which must be otherwise idle, and returns the measured
-// makespan.
-func Execute(a *Assignment) (sim.Time, error) {
+// makespan plus per-PE busy time and the fabric traffic of the run.
+func Execute(a *Assignment) (ExecStats, error) {
 	k := a.Platform.Kernel
 	if k == nil {
-		return 0, fmt.Errorf("mapping: platform has no kernel")
+		return ExecStats{}, fmt.Errorf("mapping: platform has no kernel")
 	}
 	g := a.Graph
 	n := len(g.Tasks)
@@ -459,6 +536,8 @@ func Execute(a *Assignment) (sim.Time, error) {
 	for i := range peRes {
 		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
 	}
+	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
+	busy := make([]sim.Time, len(a.Platform.Cores))
 	var makespan sim.Time
 	done := 0
 	var runTask func(id int)
@@ -473,8 +552,10 @@ func Execute(a *Assignment) (sim.Time, error) {
 			pe := a.TaskPE[id]
 			core := a.Platform.Core(pe)
 			peRes[pe].Acquire(p)
-			p.Delay(core.Cycles(g.Tasks[id].CyclesOn(core.Class)))
+			dur := core.Cycles(g.Tasks[id].CyclesOn(core.Class))
+			p.Delay(dur)
 			peRes[pe].Release()
+			busy[pe] += dur
 			if p.Now() > makespan {
 				makespan = p.Now()
 			}
@@ -504,9 +585,13 @@ func Execute(a *Assignment) (sim.Time, error) {
 	}
 	k.Run()
 	if done != n {
-		return 0, fmt.Errorf("mapping: executed %d/%d tasks (deadlock?)", done, n)
+		return ExecStats{}, fmt.Errorf("mapping: executed %d/%d tasks (deadlock?)", done, n)
 	}
-	return makespan, nil
+	return ExecStats{
+		Makespan: makespan,
+		PEBusy:   busy,
+		Fabric:   platform.FabricStatsOf(a.Platform.Fabric).Sub(fabric0),
+	}, nil
 }
 
 // ExecutePipelined runs the mapped graph as a pipeline over
@@ -516,13 +601,13 @@ func Execute(a *Assignment) (sim.Time, error) {
 // MAPS-mapped multimedia codecs actually earn their speedup — stage
 // parallelism across consecutive frames — and the measurement behind
 // the section IV "promising speedup results".
-func ExecutePipelined(a *Assignment, iterations int) (sim.Time, error) {
+func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 	if iterations <= 0 {
-		return 0, fmt.Errorf("mapping: iterations must be positive")
+		return ExecStats{}, fmt.Errorf("mapping: iterations must be positive")
 	}
 	k := a.Platform.Kernel
 	if k == nil {
-		return 0, fmt.Errorf("mapping: platform has no kernel")
+		return ExecStats{}, fmt.Errorf("mapping: platform has no kernel")
 	}
 	g := a.Graph
 	queues := map[int]*sim.Queue{} // edge index -> token queue
@@ -534,6 +619,8 @@ func ExecutePipelined(a *Assignment, iterations int) (sim.Time, error) {
 	for i := range peRes {
 		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
 	}
+	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
+	busy := make([]sim.Time, len(a.Platform.Cores))
 	var makespan sim.Time
 	finished := 0
 	for id := range g.Tasks {
@@ -556,8 +643,10 @@ func ExecutePipelined(a *Assignment, iterations int) (sim.Time, error) {
 					queues[ei].Get(p)
 				}
 				peRes[pe].Acquire(p)
-				p.Delay(core.Cycles(cycles))
+				dur := core.Cycles(cycles)
+				p.Delay(dur)
 				peRes[pe].Release()
+				busy[pe] += dur
 				for _, ei := range outEdges {
 					e := g.Edges[ei]
 					if a.TaskPE[e.To] != pe {
@@ -576,7 +665,11 @@ func ExecutePipelined(a *Assignment, iterations int) (sim.Time, error) {
 	}
 	k.Run()
 	if finished != len(g.Tasks) {
-		return 0, fmt.Errorf("mapping: pipeline stalled (%d/%d tasks finished)", finished, len(g.Tasks))
+		return ExecStats{}, fmt.Errorf("mapping: pipeline stalled (%d/%d tasks finished)", finished, len(g.Tasks))
 	}
-	return makespan, nil
+	return ExecStats{
+		Makespan: makespan,
+		PEBusy:   busy,
+		Fabric:   platform.FabricStatsOf(a.Platform.Fabric).Sub(fabric0),
+	}, nil
 }

@@ -208,18 +208,21 @@ func TestExecuteMatchesScheduleShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	measured, err := Execute(a)
+	stats, err := Execute(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if measured <= 0 {
+	if stats.Makespan <= 0 {
 		t.Fatal("no measured makespan")
 	}
 	// The event-driven execution includes real contention, so it can
 	// differ from the estimate, but not wildly for a plain chain.
-	ratio := float64(measured) / float64(a.Makespan)
+	ratio := float64(stats.Makespan) / float64(a.Makespan)
 	if ratio < 0.5 || ratio > 2.0 {
-		t.Fatalf("measured %v vs estimated %v (ratio %g)", measured, a.Makespan, ratio)
+		t.Fatalf("measured %v vs estimated %v (ratio %g)", stats.Makespan, a.Makespan, ratio)
+	}
+	if stats.BusyTotal() <= 0 || stats.BusyTotal() > stats.Makespan*sim.Time(len(plat.Cores)) {
+		t.Fatalf("implausible busy total %v for makespan %v", stats.BusyTotal(), stats.Makespan)
 	}
 }
 

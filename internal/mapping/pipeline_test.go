@@ -89,11 +89,11 @@ func TestPipelinedBeatsOneShotOnChain(t *testing.T) {
 		}
 	}
 	serialAll := serial * iters
-	if pipelined >= serialAll {
-		t.Fatalf("pipelined %v not faster than serial %v", pipelined, serialAll)
+	if pipelined.Makespan >= serialAll {
+		t.Fatalf("pipelined %v not faster than serial %v", pipelined.Makespan, serialAll)
 	}
 	// Speedup bounded by stage count.
-	speedup := float64(serialAll) / float64(pipelined)
+	speedup := float64(serialAll) / float64(pipelined.Makespan)
 	if speedup > float64(len(g.Tasks))+0.5 {
 		t.Fatalf("speedup %.2f exceeds stage bound", speedup)
 	}
@@ -110,7 +110,7 @@ func TestPipelinedSingleIterationMatchesDAGShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if one <= 0 {
+	if one.Makespan <= 0 {
 		t.Fatal("no makespan")
 	}
 	if _, err := ExecutePipelined(a, 0); err == nil {
@@ -129,7 +129,7 @@ func TestPipelinedForkJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mk <= 0 {
+	if mk.Makespan <= 0 {
 		t.Fatal("fork-join pipeline failed")
 	}
 }

@@ -171,6 +171,11 @@ func (m *Mesh) EstLatency(src, dst, bytes int) sim.Time {
 	return sim.Time(m.Hops(src, dst))*m.HopLatency + m.serialization(bytes)
 }
 
+// Stats implements platform.Fabric.
+func (m *Mesh) Stats() (uint64, sim.Time) {
+	return m.Transfers, m.TotalWait
+}
+
 // Bus is a single shared split-transaction bus: every transfer
 // serializes through one arbiter. It is the centralized baseline for
 // experiment E1.
@@ -229,4 +234,9 @@ func (b *Bus) Transfer(src, dst, bytes int, done func()) {
 // EstLatency implements platform.Fabric.
 func (b *Bus) EstLatency(src, dst, bytes int) sim.Time {
 	return b.ArbLatency + b.serialization(bytes)
+}
+
+// Stats implements platform.Fabric.
+func (b *Bus) Stats() (uint64, sim.Time) {
+	return b.Transfers, b.TotalWait
 }

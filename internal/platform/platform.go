@@ -134,6 +134,28 @@ func (c *Core) TimeToCycles(t sim.Time) int64 {
 	return int64(t) / (int64(sim.Second) / c.Hz())
 }
 
+// FabricStats is the traffic counter snapshot every fabric maintains:
+// completed transfers and the contention stall time they accumulated
+// waiting for busy links (or the bus arbiter). Design-space
+// exploration reads the delta across a simulation to score
+// interconnect pressure.
+type FabricStats struct {
+	Transfers uint64
+	Wait      sim.Time
+}
+
+// Sub returns s - prev, the traffic that occurred between the two
+// snapshots.
+func (s FabricStats) Sub(prev FabricStats) FabricStats {
+	return FabricStats{Transfers: s.Transfers - prev.Transfers, Wait: s.Wait - prev.Wait}
+}
+
+// FabricStatsOf snapshots a fabric's counters as a FabricStats.
+func FabricStatsOf(f Fabric) FabricStats {
+	transfers, wait := f.Stats()
+	return FabricStats{Transfers: transfers, Wait: wait}
+}
+
 // Fabric is the on-chip interconnect abstraction. Implementations live
 // in internal/noc (mesh network-on-chip, shared bus). Transfer models
 // moving a payload between two cores' local memories and invokes done
@@ -146,6 +168,10 @@ type Fabric interface {
 	// EstLatency returns the contention-free latency estimate used by
 	// mapping cost models.
 	EstLatency(src, dst, bytes int) sim.Time
+	// Stats returns the cumulative completed-transfer count and
+	// contention wait (plain values so implementations need not
+	// depend on this package).
+	Stats() (transfers uint64, wait sim.Time)
 }
 
 // Platform is a complete MPSoC: cores plus interconnect plus optional

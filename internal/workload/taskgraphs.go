@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/xrand"
+)
+
+// Coarse task-graph models of the three applications, for mapping and
+// design-space exploration. The functional codecs elsewhere in this
+// package compute real outputs; these graphs capture the same stage
+// structure at the granularity MAPS maps — tasks with per-PE-class
+// WCETs and weighted communication edges. Every task carries RISC,
+// CTRL and DSP timings so the graphs are mappable on each built-in
+// platform (wireless, homogeneous, Cell-like, MPCore); VLIW and ACC
+// timings appear where a media engine or accelerator plausibly helps.
+
+// wcet builds a WCET table from per-class cycle counts; zero means
+// the task cannot run on that class.
+func wcet(risc, ctrl, dsp, vliw, acc int64) map[platform.PEClass]int64 {
+	m := map[platform.PEClass]int64{}
+	set := func(c platform.PEClass, v int64) {
+		if v > 0 {
+			m[c] = v
+		}
+	}
+	set(platform.RISC, risc)
+	set(platform.CTRL, ctrl)
+	set(platform.DSP, dsp)
+	set(platform.VLIW, vliw)
+	set(platform.ACC, acc)
+	return m
+}
+
+// JPEGTaskGraph models the section IV partitioning case study at
+// strip granularity: a source stage fans out to two parallel strips,
+// each running the separable DCT, quantization and entropy stages,
+// joined by a packer. DCT-class stages run much faster on DSP/VLIW/ACC
+// cores; the bit-twiddling entropy coder prefers control cores.
+func JPEGTaskGraph() *taskgraph.Graph {
+	g := taskgraph.NewGraph("jpeg")
+	src := g.AddTask(&taskgraph.Task{Name: "src", WCET: wcet(120_000, 110_000, 100_000, 0, 0)})
+	pack := g.AddTask(&taskgraph.Task{Name: "pack", WCET: wcet(80_000, 75_000, 90_000, 0, 0)})
+	for s := 0; s < 2; s++ {
+		rowdct := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("rowdct%d", s), WCET: wcet(900_000, 940_000, 310_000, 230_000, 180_000)})
+		coldct := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("coldct%d", s), WCET: wcet(880_000, 920_000, 300_000, 225_000, 175_000)})
+		quant := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("quant%d", s), WCET: wcet(170_000, 180_000, 60_000, 52_000, 0)})
+		rle := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("rle%d", s), WCET: wcet(210_000, 200_000, 260_000, 0, 0)})
+		g.Connect(src, rowdct, 32<<10, "strip")
+		g.Connect(rowdct, coldct, 32<<10, "rowdct")
+		g.Connect(coldct, quant, 32<<10, "coeff")
+		g.Connect(quant, rle, 32<<10, "quanted")
+		g.Connect(rle, pack, 8<<10, "rle")
+	}
+	return g
+}
+
+// H264TaskGraph models the reference-[7] encoder shape: per-slice
+// motion estimation, residual, transform, quantization and entropy
+// coding over two slices, with a shared reconstruction stage feeding
+// the next frame's reference (modelled as a join) and a bitstream
+// muxer.
+func H264TaskGraph() *taskgraph.Graph {
+	g := taskgraph.NewGraph("h264")
+	fetch := g.AddTask(&taskgraph.Task{Name: "fetch", WCET: wcet(150_000, 140_000, 130_000, 0, 0)})
+	recon := g.AddTask(&taskgraph.Task{Name: "recon", WCET: wcet(380_000, 400_000, 150_000, 110_000, 0)})
+	mux := g.AddTask(&taskgraph.Task{Name: "mux", WCET: wcet(60_000, 55_000, 70_000, 0, 0)})
+	for s := 0; s < 2; s++ {
+		me := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("me%d", s), WCET: wcet(1_400_000, 1_500_000, 500_000, 360_000, 0)})
+		resid := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("resid%d", s), WCET: wcet(300_000, 320_000, 110_000, 85_000, 0)})
+		xfrm := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("xfrm%d", s), WCET: wcet(250_000, 265_000, 90_000, 70_000, 55_000)})
+		quant := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("quant%d", s), WCET: wcet(120_000, 130_000, 45_000, 38_000, 0)})
+		entropy := g.AddTask(&taskgraph.Task{Name: fmt.Sprintf("entropy%d", s), WCET: wcet(420_000, 400_000, 520_000, 0, 0)})
+		g.Connect(fetch, me, 24<<10, "slice")
+		g.Connect(me, resid, 16<<10, "mv+ref")
+		g.Connect(resid, xfrm, 16<<10, "residual")
+		g.Connect(xfrm, quant, 16<<10, "coeff")
+		g.Connect(quant, entropy, 12<<10, "levels")
+		g.Connect(quant, recon, 12<<10, "levels")
+		g.Connect(entropy, mux, 4<<10, "bits")
+	}
+	g.Connect(recon, mux, 2<<10, "refdone")
+	return g
+}
+
+// CarRadioTaskGraph is the section III stream chain (sample ->
+// decimating FIR -> FM demod -> stereo decoder -> DAC) at audio-block
+// granularity, with WCETs proportional to the CSDF actor execution
+// times of CarRadioGraph. The FIR is the classic DSP kernel and
+// carries a preferred-PE hint, like a '#pragma maps pe=DSP'.
+func CarRadioTaskGraph() *taskgraph.Graph {
+	g := taskgraph.NewGraph("carradio")
+	sample := g.AddTask(&taskgraph.Task{Name: "sample", WCET: wcet(30_000, 28_000, 32_000, 0, 0)})
+	fir := g.AddTask(&taskgraph.Task{
+		Name: "fir", WCET: wcet(160_000, 170_000, 42_000, 48_000, 0),
+		PreferredPE: platform.DSP, HasPref: true,
+	})
+	demod := g.AddTask(&taskgraph.Task{Name: "demod", WCET: wcet(90_000, 95_000, 26_000, 30_000, 0)})
+	stereo := g.AddTask(&taskgraph.Task{Name: "stereo", WCET: wcet(130_000, 140_000, 36_000, 40_000, 0)})
+	dac := g.AddTask(&taskgraph.Task{Name: "dac", WCET: wcet(20_000, 18_000, 24_000, 0, 0)})
+	g.Connect(sample, fir, 16<<10, "pcm")
+	g.Connect(fir, demod, 4<<10, "baseband")
+	g.Connect(demod, stereo, 4<<10, "mpx")
+	g.Connect(stereo, dac, 8<<10, "audio")
+	return g
+}
+
+// SyntheticTaskGraph generates a deterministic layered random DAG of n
+// tasks for exploration stress: layer widths near sqrt(n), each
+// non-root task consuming one to three predecessors from the previous
+// layer, WCETs drawn per class with DSP/VLIW/ACC speedups present with
+// decreasing probability. The same (n, seed) always yields the same
+// graph.
+func SyntheticTaskGraph(n int, seed uint64) *taskgraph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	r := xrand.New(seed)
+	g := taskgraph.NewGraph(fmt.Sprintf("synth%d", n))
+	width := 1
+	for width*width < n {
+		width++
+	}
+	var prev []*taskgraph.Task
+	made := 0
+	for made < n {
+		w := 1 + r.Intn(width)
+		if remaining := n - made; w > remaining {
+			w = remaining
+		}
+		var layer []*taskgraph.Task
+		for i := 0; i < w; i++ {
+			risc := r.Range(100_000, 1_200_000)
+			ctrl := risc + risc/20
+			dsp := risc * r.Range(30, 90) / 100
+			var vliw, acc int64
+			if r.Bool(0.4) {
+				vliw = risc * r.Range(25, 80) / 100
+			}
+			if r.Bool(0.2) {
+				acc = risc * r.Range(20, 50) / 100
+			}
+			t := g.AddTask(&taskgraph.Task{
+				Name: fmt.Sprintf("t%d", made+i),
+				WCET: wcet(risc, ctrl, dsp, vliw, acc),
+			})
+			layer = append(layer, t)
+			if len(prev) > 0 {
+				nPred := 1 + r.Intn(3)
+				if nPred > len(prev) {
+					nPred = len(prev)
+				}
+				for _, pi := range r.Perm(len(prev))[:nPred] {
+					g.Connect(prev[pi], t, int(r.Range(256, 64<<10)), "dep")
+				}
+			}
+		}
+		made += w
+		prev = layer
+	}
+	return g
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/taskgraph"
+)
+
+func TestApplicationTaskGraphsValid(t *testing.T) {
+	for _, g := range []*taskgraph.Graph{JPEGTaskGraph(), H264TaskGraph(), CarRadioTaskGraph()} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if len(g.Tasks) < 5 {
+			t.Fatalf("%s: only %d tasks", g.Name, len(g.Tasks))
+		}
+		// Every task must be runnable on each built-in platform's class
+		// mix (the DSE sweep maps every workload onto every platform).
+		classSets := [][]platform.PEClass{
+			{platform.RISC},               // homog / mpcore
+			{platform.CTRL, platform.DSP}, // cell-like
+			{platform.RISC, platform.DSP, platform.VLIW, platform.ACC}, // wireless
+		}
+		for _, classes := range classSets {
+			for _, task := range g.Tasks {
+				ok := false
+				for _, c := range classes {
+					if task.CanRunOn(c) {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("%s: task %s unmappable on %v", g.Name, task.Name, classes)
+				}
+			}
+		}
+	}
+}
+
+func graphString(g *taskgraph.Graph) string {
+	s := g.Name
+	for _, task := range g.Tasks {
+		s += fmt.Sprintf("|%+v", *task)
+	}
+	return s + fmt.Sprintf("|%+v", g.Edges)
+}
+
+func TestSyntheticTaskGraphDeterministic(t *testing.T) {
+	for _, n := range []int{2, 8, 16, 40} {
+		a := SyntheticTaskGraph(n, 42)
+		b := SyntheticTaskGraph(n, 42)
+		if err := a.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(a.Tasks) != n {
+			t.Fatalf("n=%d: got %d tasks", n, len(a.Tasks))
+		}
+		if graphString(a) != graphString(b) {
+			t.Fatalf("n=%d: same seed produced different graphs", n)
+		}
+		c := SyntheticTaskGraph(n, 43)
+		if graphString(a) == graphString(c) {
+			t.Fatalf("n=%d: different seeds produced identical graphs", n)
+		}
+	}
+}
