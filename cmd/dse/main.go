@@ -5,24 +5,46 @@
 //
 // Usage:
 //
-//	dse [-sweep SPEC] [-workers N] [-seed S] [-out FILE] [-resume] [-pareto]
+//	dse [-sweep SPEC] [-workers N] [-seed S] [-out FILE] [-resume]
+//	    [-shard K/N] [-merge GLOB] [-pareto] [-hypervolume]
 //
 // SPEC is a preset (smoke, default) or a ';'-separated dimension
 // list, e.g.:
 //
 //	dse -sweep 'plat=homog8,wireless;fab=mesh,bus;wl=jpeg,h264;heur=list,anneal;fid=mvp,vp64'
 //
-// Results stream to -out as JSONL in point order, so a sweep is
+// Results stream to -out as JSONL — a provenance header line followed
+// by one result per line, in point order — so a sweep is
 // byte-reproducible for a given -seed and can resume from a partial
-// file with -resume. -pareto prints the latency/energy/area Pareto
-// front and an ASCII scatter.
+// file with -resume (the header is validated; resuming a file from a
+// different sweep or seed fails loudly).
+//
+// A sweep distributes across processes or hosts with -shard K/N:
+// every invocation deterministically plans the same N contiguous,
+// cost-balanced point ranges and evaluates only range K, writing
+// FILE.shard-K.jsonl. Because per-point seeds derive from the sweep
+// seed alone, shards evaluated anywhere merge back losslessly:
+// -merge 'FILE.shard-*.jsonl' validates the shard headers,
+// de-duplicates on point ID, and writes a merged file byte-identical
+// to an unsharded run of the same spec and seed.
+//
+// -pareto prints the per-workload latency/energy/area Pareto front
+// and an ASCII scatter; -hypervolume prints the hypervolume indicator
+// of each front (the front-quality number to compare sweeps by).
+// Hypervolumes from different sweeps are only comparable inside a
+// shared reference box: pass the other sweep's JSONL as -hv-ref so
+// both runs are measured against the same per-workload worst/ideal
+// points. Reports go to stdout, or to stderr when -out is '-' (the
+// JSONL stream owns stdout then).
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mpsockit/internal/dse"
@@ -33,9 +55,22 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "sweep seed; same seed + same sweep = identical output")
 	out := flag.String("out", "dse.jsonl", "JSONL results file ('-' = stdout)")
-	resume := flag.Bool("resume", false, "reuse the valid prefix of an existing -out checkpoint")
-	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter to stdout")
+	resume := flag.Bool("resume", false, "reuse the valid prefix of an existing -out checkpoint (header must match)")
+	shardArg := flag.String("shard", "", "evaluate shard K/N of the sweep (e.g. 0/4); writes <out>.shard-K.jsonl")
+	mergeGlob := flag.String("merge", "", "merge shard JSONL files matching this glob into -out instead of sweeping")
+	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter")
+	hypervolume := flag.Bool("hypervolume", false, "print the per-workload front hypervolume indicator")
+	hvRef := flag.String("hv-ref", "", "JSONL sweep file whose results co-define the hypervolume reference box (for cross-sweep comparison)")
 	flag.Parse()
+
+	baseline := loadBaseline(*hvRef)
+	if *mergeGlob != "" {
+		if *shardArg != "" {
+			fatal(fmt.Errorf("-merge and -shard are mutually exclusive"))
+		}
+		merge(*mergeGlob, *out, *pareto, *hypervolume, baseline)
+		return
+	}
 
 	sw, err := dse.ParseSweep(*sweepSpec, *seed)
 	if err != nil {
@@ -46,24 +81,42 @@ func main() {
 		fatal(err)
 	}
 
+	// Shard mode: plan the same contiguous ranges every invocation
+	// would and keep only ours.
+	outPath := *out
+	var shard *dse.Shard
+	if *shardArg != "" {
+		k, n, err := dse.ParseShardArg(*shardArg)
+		if err != nil {
+			fatal(err)
+		}
+		shards, err := dse.PlanShards(points, n)
+		if err != nil {
+			fatal(err)
+		}
+		shard = &shards[k]
+		if outPath != "-" {
+			outPath = dse.ShardPath(*out, k)
+		}
+	}
+	header := dse.NewHeader(*sweepSpec, *seed, points, shard)
+	slice := points
+	if shard != nil {
+		slice = points[shard.Lo:shard.Hi]
+	}
+
 	var prefix []dse.Result
-	if *resume && *out != "-" {
-		prefix, err = dse.LoadCheckpoint(*out, points)
+	if *resume && outPath != "-" {
+		prefix, err = dse.LoadCheckpoint(outPath, header, slice)
 		if err != nil {
 			fatal(fmt.Errorf("resume: %w", err))
 		}
 	}
 
-	var sink *bufio.Writer
-	if *out == "-" {
-		sink = bufio.NewWriter(os.Stdout)
-	} else {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		sink = bufio.NewWriter(f)
+	sink, closeSink := openSink(outPath)
+	defer closeSink()
+	if err := dse.WriteHeader(sink, header); err != nil {
+		fatal(err)
 	}
 	for _, r := range prefix {
 		if err := dse.WriteResult(sink, r); err != nil {
@@ -71,9 +124,14 @@ func main() {
 		}
 	}
 
-	remaining := points[len(prefix):]
-	fmt.Fprintf(os.Stderr, "dse: %d design points (%d from checkpoint), %d-worker pool\n",
-		len(points), len(prefix), *workers)
+	remaining := slice[len(prefix):]
+	if shard != nil {
+		fmt.Fprintf(os.Stderr, "dse: %s of %d design points (%d from checkpoint), %d-worker pool\n",
+			shard, len(points), len(prefix), *workers)
+	} else {
+		fmt.Fprintf(os.Stderr, "dse: %d design points (%d from checkpoint), %d-worker pool\n",
+			len(points), len(prefix), *workers)
+	}
 	start := time.Now()
 	emitted := len(prefix)
 	eng := &dse.Engine{Workers: *workers, OnResult: func(r dse.Result) {
@@ -83,7 +141,7 @@ func main() {
 		emitted++
 		if emitted%100 == 0 {
 			fmt.Fprintf(os.Stderr, "dse: %d/%d evaluated (%.1fs)\n",
-				emitted, len(points), time.Since(start).Seconds())
+				emitted, len(slice), time.Since(start).Seconds())
 		}
 	}}
 	results := append(prefix, eng.Run(remaining)...)
@@ -101,11 +159,88 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dse: evaluated %d points (%d failed) in %.2fs\n",
 		len(remaining), failed, time.Since(start).Seconds())
+	if shard != nil && (*pareto || *hypervolume) {
+		fmt.Fprintf(os.Stderr, "dse: note: fronts below cover only %s; merge all shards for the full sweep\n", shard)
+	}
+	report(results, *pareto, *hypervolume, baseline, reportWriter(outPath))
+}
 
-	if *pareto {
+// merge combines shard files matching glob into out and optionally
+// reports fronts and hypervolumes over the union.
+func merge(glob, out string, pareto, hypervolume bool, baseline []dse.Result) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		fatal(err)
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("merge: no files match %q", glob))
+	}
+	m, err := dse.MergeShards(paths)
+	if err != nil {
+		fatal(err)
+	}
+	sink, closeSink := openSink(out)
+	defer closeSink()
+	if _, err := m.WriteTo(sink); err != nil {
+		fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dse: merged %d files -> %d points (%d duplicate lines dropped)\n",
+		len(paths), len(m.Results), m.Duplicates)
+	report(m.Results, pareto, hypervolume, baseline, reportWriter(out))
+}
+
+// openSink opens the JSONL output stream: stdout for "-", otherwise
+// the (truncated) file at path. The cleanup closes the file; callers
+// still Flush the writer before reporting.
+func openSink(path string) (*bufio.Writer, func()) {
+	if path == "-" {
+		return bufio.NewWriter(os.Stdout), func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	return bufio.NewWriter(f), func() { f.Close() }
+}
+
+// reportWriter keeps human-readable reports off the JSONL stream:
+// they share stdout only when the results are going to a file.
+func reportWriter(out string) io.Writer {
+	if out == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
+}
+
+// loadBaseline reads the -hv-ref sweep file, whose results widen the
+// hypervolume reference box so two sweeps measure in the same frame.
+func loadBaseline(path string) []dse.Result {
+	if path == "" {
+		return nil
+	}
+	sf, err := dse.ReadShardFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("hv-ref: %w", err))
+	}
+	return sf.Results
+}
+
+// report prints the optional front table, scatter and hypervolume
+// summaries for a complete result set.
+func report(results []dse.Result, pareto, hypervolume bool, baseline []dse.Result, w io.Writer) {
+	if pareto {
 		front := dse.GroupedFront(results)
-		fmt.Print(dse.FrontTable(results, front))
-		fmt.Print(dse.Scatter(results, front, 72, 24))
+		fmt.Fprint(w, dse.FrontTable(results, front))
+		fmt.Fprint(w, dse.Scatter(results, front, 72, 24))
+	}
+	if hypervolume {
+		if len(baseline) > 0 && !dse.BaselineOverlaps(results, baseline) {
+			fatal(fmt.Errorf("hv-ref: baseline shares no workload instances with this sweep (different -seed or workloads?); the hypervolumes would not be comparable"))
+		}
+		fmt.Fprint(w, dse.HVTable(dse.HypervolumesShared(results, baseline), len(baseline) > 0))
 	}
 }
 

@@ -47,7 +47,21 @@
 // Pareto fronts over latency, energy proxy and area proxy. cmd/dse is
 // the CLI.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// experiment index; bench_test.go in this directory regenerates every
-// experiment.
+// Sweeps also distribute: shard planning is a deterministic,
+// cost-balanced split of the expanded point list into contiguous ID
+// ranges, so N processes or hosts each run "dse -shard k/N" with no
+// coordinator and produce shard files whose provenance headers
+// (schema, spec, seed, expanded-point hash, ID range) make them
+// safely mergeable — "dse -merge" validates headers, de-duplicates
+// on point ID, refuses incomplete or conflicting shard sets, and
+// writes a file byte-identical to an unsharded run. Resume uses the
+// same header and fails loudly on mismatch instead of silently
+// discarding a foreign checkpoint. Front quality is reported as the
+// per-workload hypervolume indicator, computed exactly in three
+// dimensions against a deterministic reference point, so restricted
+// and full sweeps compare quantitatively. docs/dse.md is the
+// workflow guide; docs/architecture.md maps the layers.
+//
+// bench_test.go in this directory regenerates every experiment
+// (E1–E13).
 package mpsockit

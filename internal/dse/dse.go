@@ -15,6 +15,32 @@
 // order regardless of completion order, which makes a sweep's JSONL
 // output byte-reproducible for a given seed and resumable from a
 // checkpoint prefix.
+//
+// # Distribution
+//
+// Sweeps distribute across processes and hosts without a coordinator.
+// PlanShards splits the expanded point list into contiguous ID ranges
+// balanced on EstCost; because planning is a pure function of the
+// spec and every per-point seed derives from the sweep seed alone,
+// each worker independently computes the same plan, evaluates its own
+// range, and writes a shard file whose result lines are a literal
+// substring of the unsharded output.
+//
+// Every sweep file starts with a Header line pinning the schema
+// version, spec, seed, expanded-point hash and (for shards) the
+// covered ID range. LoadCheckpoint validates it before resuming —
+// a mismatched header is a loud error, not a silent restart — and
+// MergeShards validates it before combining: shard headers must agree,
+// the spec must re-expand to the recorded hash, duplicate point IDs
+// must carry identical bytes, and the union must cover the full
+// sweep. A merged file is byte-identical to an unsharded run.
+//
+// Front quality is quantified per workload: GroupedFront extracts
+// per-workload Pareto fronts over latency, energy proxy and area
+// proxy, and Hypervolumes reports each front's exact hypervolume
+// indicator against a deterministic per-group reference point, so
+// sweeps (full versus heuristic-restricted, merged versus unsharded)
+// compare by a number rather than by front membership counts.
 package dse
 
 import (
@@ -51,6 +77,8 @@ func (s PlatSpec) CoreCount() int {
 	}
 }
 
+// String renders the spec as the compact "kind/fabric/dN" token used
+// in tables and logs.
 func (s PlatSpec) String() string {
 	name := s.Kind
 	if s.Kind != "wireless" {

@@ -113,22 +113,29 @@ func TestWorkerPoolParallel(t *testing.T) {
 }
 
 // TestResumeCheckpoint: a sweep resumed from a JSONL prefix must
-// complete to the same bytes as an uninterrupted run.
+// complete to the same bytes as an uninterrupted run, and a
+// checkpoint from a different sweep must be rejected loudly.
 func TestResumeCheckpoint(t *testing.T) {
 	full := sweepJSONL(t, "smoke", 11, 4)
 	lines := bytes.SplitAfter(full, []byte("\n"))
 	lines = lines[:len(lines)-1] // trailing empty slice
 	half := len(lines) / 2
+	sw, _ := ParseSweep("smoke", 11)
+	points, _ := sw.Points()
+	header := NewHeader("smoke", 11, points, nil)
 	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
 	// A torn trailing line (crash mid-write) must not poison the
 	// checkpoint: the valid prefix is still recovered.
-	torn := append(bytes.Join(lines[:half], nil), []byte(`{"point":{"id`)...)
-	if err := os.WriteFile(path, torn, 0o644); err != nil {
+	var torn bytes.Buffer
+	if err := WriteHeader(&torn, header); err != nil {
 		t.Fatal(err)
 	}
-	sw, _ := ParseSweep("smoke", 11)
-	points, _ := sw.Points()
-	prefix, err := LoadCheckpoint(path, points)
+	torn.Write(bytes.Join(lines[:half], nil))
+	torn.WriteString(`{"point":{"id`)
+	if err := os.WriteFile(path, torn.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := LoadCheckpoint(path, header, points)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +157,22 @@ func TestResumeCheckpoint(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), full) {
 		t.Fatal("resumed sweep diverged from uninterrupted run")
 	}
-	// A checkpoint from a different seed must be rejected entirely.
+	// A checkpoint from a different seed must be rejected with an
+	// error (the spec hash in its header differs), not silently
+	// re-evaluated from scratch.
 	other, _ := ParseSweep("smoke", 12)
 	otherPoints, _ := other.Points()
-	if got, _ := LoadCheckpoint(path, otherPoints); len(got) != 0 {
-		t.Fatalf("foreign checkpoint accepted (%d results)", len(got))
+	otherHeader := NewHeader("smoke", 12, otherPoints, nil)
+	if _, err := LoadCheckpoint(path, otherHeader, otherPoints); err == nil {
+		t.Fatal("foreign checkpoint accepted without error")
+	}
+	// A pre-schema file (no header line) is also an explicit error.
+	legacy := filepath.Join(t.TempDir(), "legacy.jsonl")
+	if err := os.WriteFile(legacy, bytes.Join(lines[:half], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(legacy, header, points); err == nil {
+		t.Fatal("headerless checkpoint accepted without error")
 	}
 }
 

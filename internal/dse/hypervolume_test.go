@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"mpsockit/internal/sim"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestHypervolumeKnownValues checks the exact 3-D sweep against
+// hand-computed volumes.
+func TestHypervolumeKnownValues(t *testing.T) {
+	ref := [3]float64{1, 1, 1}
+	cases := []struct {
+		name string
+		pts  [][3]float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"origin dominates the unit box", [][3]float64{{0, 0, 0}}, 1},
+		{"single interior point", [][3]float64{{0.5, 0.5, 0.5}}, 0.125},
+		{"point outside ref contributes nothing", [][3]float64{{2, 0, 0}}, 0},
+		{"point on ref boundary contributes nothing", [][3]float64{{1, 0, 0}}, 0},
+		{"dominated point adds nothing", [][3]float64{{0.2, 0.2, 0.2}, {0.5, 0.5, 0.5}}, 0.512},
+		// Two boxes: 0.5 + 0.5 - 0.25 overlap.
+		{"overlapping pair", [][3]float64{{0, 0.5, 0}, {0.5, 0, 0}}, 0.75},
+		// Three-point staircase in xy at two z levels:
+		// z<=0.5 slab uses only the first point.
+		{"z-layered", [][3]float64{{0.5, 0.5, 0}, {0, 0, 0.5}}, 0.25*0.5 + 1*0.5},
+	}
+	for _, tc := range cases {
+		if got := Hypervolume(tc.pts, ref); !almostEq(got, tc.want) {
+			t.Errorf("%s: Hypervolume = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+	// Permutation invariance: the sweep sorts internally.
+	pts := [][3]float64{{0.1, 0.7, 0.3}, {0.6, 0.2, 0.5}, {0.4, 0.4, 0.1}, {0.9, 0.9, 0.9}}
+	want := Hypervolume(pts, ref)
+	perm := [][3]float64{pts[2], pts[0], pts[3], pts[1]}
+	if got := Hypervolume(perm, ref); got != want {
+		t.Errorf("permutation changed hypervolume: %g vs %g", got, want)
+	}
+}
+
+// mkResult builds a synthetic evaluated result with the given
+// objectives (latency seconds, energy, area) for front/HV tests.
+func mkResult(id int, wl string, lat, energy, area float64) Result {
+	return Result{
+		Point: Point{ID: id, Workload: wl},
+		Metrics: Metrics{
+			Makespan: sim.Time(lat * float64(sim.Second)),
+			Energy:   energy,
+			Area:     area,
+		},
+	}
+}
+
+// TestRefPointAndSinglePointFront: the reference point is the
+// per-group componentwise worst inflated by 1%, so a single-point
+// front still encloses positive volume and normalizes to exactly 1.
+func TestRefPointAndSinglePointFront(t *testing.T) {
+	r := mkResult(0, "jpeg", 2, 8, 3)
+	ref := RefPoint([]Result{r})
+	want := [3]float64{2 * 1.01, 8 * 1.01, 3 * 1.01}
+	for d := 0; d < 3; d++ {
+		if !almostEq(ref[d], want[d]) {
+			t.Fatalf("ref[%d] = %g, want %g", d, ref[d], want[d])
+		}
+	}
+	hvs := Hypervolumes([]Result{r})
+	if len(hvs) != 1 {
+		t.Fatalf("got %d fronts, want 1", len(hvs))
+	}
+	h := hvs[0]
+	if h.Workload != "jpeg" || h.Points != 1 || h.Front != 1 {
+		t.Fatalf("unexpected front record %+v", h)
+	}
+	if h.Volume <= 0 {
+		t.Fatalf("single-point front has non-positive volume %g", h.Volume)
+	}
+	if h.Norm != 1 {
+		t.Fatalf("single-point front norm = %g, want exactly 1", h.Norm)
+	}
+	// Failed results contribute to nothing.
+	failed := Result{Point: Point{ID: 1, Workload: "jpeg"}, Err: "boom"}
+	if got := RefPoint([]Result{failed}); got != ([3]float64{}) {
+		t.Fatalf("RefPoint over failed results = %v, want zero", got)
+	}
+	hvs = Hypervolumes([]Result{r, failed})
+	if hvs[0].Points != 1 || hvs[0].Front != 1 {
+		t.Fatalf("failed result leaked into front record %+v", hvs[0])
+	}
+}
+
+// TestHypervolumesGrouping: fronts are per workload instance, sorted
+// by label, and a dominating point collapses its group's front.
+func TestHypervolumesGrouping(t *testing.T) {
+	results := []Result{
+		mkResult(0, "jpeg", 1, 1, 1), // dominates id 1
+		mkResult(1, "jpeg", 2, 2, 2), // dominated
+		mkResult(2, "h264", 5, 5, 5), // different group
+		mkResult(3, "h264", 4, 6, 5), // trades energy for latency
+	}
+	hvs := Hypervolumes(results)
+	if len(hvs) != 2 {
+		t.Fatalf("got %d groups, want 2", len(hvs))
+	}
+	if hvs[0].Workload != "h264" || hvs[1].Workload != "jpeg" {
+		t.Fatalf("groups not sorted by label: %+v", hvs)
+	}
+	if hvs[1].Front != 1 || hvs[1].Points != 2 {
+		t.Fatalf("jpeg front record %+v, want front 1 of 2", hvs[1])
+	}
+	if hvs[0].Front != 2 {
+		t.Fatalf("h264 front record %+v, want front 2", hvs[0])
+	}
+	for _, h := range hvs {
+		if h.Volume <= 0 || h.Norm <= 0 || h.Norm > 1 {
+			t.Fatalf("implausible hypervolume record %+v", h)
+		}
+	}
+}
+
+// TestHypervolumesShared: cross-sweep comparison needs one reference
+// box. A restricted sweep measured against its own results scores a
+// strictly worse front as perfect (norm 1); measured against the
+// shared baseline it scores strictly below the full sweep.
+func TestHypervolumesShared(t *testing.T) {
+	full := []Result{
+		mkResult(0, "jpeg", 1, 1, 1),
+		mkResult(1, "jpeg", 2, 2, 2),
+		mkResult(2, "jpeg", 3, 3, 3),
+	}
+	restricted := full[2:] // only the worst design
+	selfRef := Hypervolumes(restricted)
+	if selfRef[0].Norm != 1 {
+		t.Fatalf("self-referenced single-point front norm = %g, want 1 (the misleading number)", selfRef[0].Norm)
+	}
+	fullHV := HypervolumesShared(full, restricted)
+	restrictedHV := HypervolumesShared(restricted, full)
+	if fullHV[0].Ref != restrictedHV[0].Ref {
+		t.Fatalf("shared baselines produced different reference points: %v vs %v", fullHV[0].Ref, restrictedHV[0].Ref)
+	}
+	if restrictedHV[0].Volume >= fullHV[0].Volume {
+		t.Fatalf("worse front scored >= in the shared frame: %g vs %g", restrictedHV[0].Volume, fullHV[0].Volume)
+	}
+	if restrictedHV[0].Norm >= 1 {
+		t.Fatalf("worse front still normalizes to %g in the shared frame", restrictedHV[0].Norm)
+	}
+	// Baseline results from groups the sweep never evaluated are
+	// ignored (no phantom fronts), and front membership never changes.
+	other := []Result{mkResult(9, "h264", 5, 5, 5)}
+	got := HypervolumesShared(restricted, other)
+	if len(got) != 1 || got[0].Workload != "jpeg" || got[0].Front != 1 {
+		t.Fatalf("baseline leaked into fronts: %+v", got)
+	}
+}
+
+// TestHypervolumeMonotonic: adding a non-dominated point never
+// shrinks the front's hypervolume — the property that makes it a
+// front-quality indicator (run on a real smoke sweep).
+func TestHypervolumeMonotonic(t *testing.T) {
+	points := expandSweep(t, "smoke", 5)
+	results := (&Engine{Workers: 4}).Run(points)
+	hvs := Hypervolumes(results)
+	if len(hvs) == 0 {
+		t.Fatal("no fronts")
+	}
+	for _, h := range hvs {
+		if h.Front < 1 || h.Volume <= 0 || h.Norm <= 0 || h.Norm > 1+1e-12 {
+			t.Fatalf("implausible sweep hypervolume %+v", h)
+		}
+	}
+	// Dropping a front member from one group must not increase the
+	// group's hypervolume.
+	front := GroupedFront(results)
+	drop := front[0]
+	var reduced []Result
+	for i, r := range results {
+		if i != drop {
+			reduced = append(reduced, r)
+		}
+	}
+	label := (WorkloadSpec{Kind: results[drop].Point.Workload, N: results[drop].Point.N}).String()
+	var before, after float64
+	for _, h := range Hypervolumes(results) {
+		if h.Workload == label {
+			before = h.Volume
+		}
+	}
+	for _, h := range Hypervolumes(reduced) {
+		if h.Workload == label {
+			after = h.Volume
+		}
+	}
+	if after > before+1e-12 {
+		t.Fatalf("removing front member grew hypervolume: %g -> %g", before, after)
+	}
+}

@@ -2,11 +2,126 @@ package dse
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"reflect"
+	"sort"
 )
+
+// SchemaVersion identifies the JSONL sweep-file layout: a header line
+// followed by one Result per line. Bump it whenever the Point or
+// Metrics encoding changes incompatibly; merge and resume refuse
+// files from another schema rather than silently misreading them.
+const SchemaVersion = 1
+
+// Header is the provenance record written as the first line of every
+// sweep JSONL file, wrapped as {"header":{...}} so it can never be
+// confused with a result line. It pins everything that must match
+// for two files to be combinable: the schema version, the sweep spec
+// and seed, the hash of the expanded point list (which changes if the
+// expansion logic itself changes), the total point count, and — for
+// shard files — which contiguous ID range the file covers. Resume
+// and merge both validate it and fail loudly on mismatch instead of
+// silently discarding or mixing foreign results.
+type Header struct {
+	// Schema is the file's SchemaVersion.
+	Schema int `json:"schema"`
+	// Spec is the sweep specification string the file was run with.
+	Spec string `json:"spec"`
+	// Seed is the sweep seed; all per-point seeds derive from it.
+	Seed uint64 `json:"seed"`
+	// SpecHash fingerprints the expanded point list (HashPoints).
+	SpecHash string `json:"spec_hash"`
+	// Points is the total point count of the full (unsharded) sweep.
+	Points int `json:"points"`
+	// Shard is the ID range this file covers; nil for an unsharded or
+	// merged file, which covers all points.
+	Shard *Shard `json:"shard,omitempty"`
+}
+
+// headerLine is the JSONL wrapper distinguishing the header from
+// result lines.
+type headerLine struct {
+	Header *Header `json:"header"`
+}
+
+// HashPoints fingerprints an expanded point list: a SHA-256 over the
+// schema version and the JSON encoding of every point (IDs, derived
+// seeds, platform/workload/heuristic/fidelity axes). Two sweeps share
+// a hash exactly when they expand to identical points, so the hash
+// detects a different spec, a different seed, and — because the
+// derived seeds are part of the encoding — a change to the expansion
+// algorithm itself.
+func HashPoints(points []Point) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "dse-schema-%d\n", SchemaVersion)
+	enc := json.NewEncoder(h)
+	for _, p := range points {
+		// Encoding a Point never fails; ignore the error to keep the
+		// hash a pure function.
+		_ = enc.Encode(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NewHeader builds the header for a sweep over the given expanded
+// points. Pass shard == nil for an unsharded run; merged files use
+// the same nil-shard form, which is what makes a merged file
+// byte-identical to an unsharded one.
+func NewHeader(spec string, seed uint64, points []Point, shard *Shard) Header {
+	return Header{
+		Schema:   SchemaVersion,
+		Spec:     spec,
+		Seed:     seed,
+		SpecHash: HashPoints(points),
+		Points:   len(points),
+		Shard:    shard,
+	}
+}
+
+// sameSweep reports whether two headers describe the same sweep
+// (ignoring the shard range), with a descriptive error when not.
+func (h Header) sameSweep(other Header) error {
+	switch {
+	case h.Schema != other.Schema:
+		return fmt.Errorf("schema %d vs %d", h.Schema, other.Schema)
+	case h.Spec != other.Spec:
+		return fmt.Errorf("spec %q vs %q", h.Spec, other.Spec)
+	case h.Seed != other.Seed:
+		return fmt.Errorf("seed %d vs %d", h.Seed, other.Seed)
+	case h.SpecHash != other.SpecHash:
+		return fmt.Errorf("spec hash %s vs %s", h.SpecHash, other.SpecHash)
+	case h.Points != other.Points:
+		return fmt.Errorf("point count %d vs %d", h.Points, other.Points)
+	}
+	return nil
+}
+
+// WriteHeader writes the header as the file's first JSONL line.
+func WriteHeader(w io.Writer, h Header) error {
+	data, err := json.Marshal(headerLine{Header: &h})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// parseHeader decodes a JSONL line as a header line; ok is false for
+// anything else (including result lines and torn fragments).
+func parseHeader(line []byte) (Header, bool) {
+	var hl headerLine
+	if err := json.Unmarshal(line, &hl); err != nil || hl.Header == nil {
+		return Header{}, false
+	}
+	return *hl.Header, true
+}
 
 // WriteResult appends one result as a JSONL line. Encoding a Result
 // is deterministic (fixed field order, no maps), so a sweep streamed
@@ -36,12 +151,25 @@ func MatchPrefix(points []Point, results []Result) []Result {
 	return results[:n]
 }
 
+// newScanner sizes a line scanner for JSONL result files.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return sc
+}
+
 // LoadCheckpoint reads a JSONL results file and returns the prefix
-// that is valid for the given point expansion. A missing file is an
-// empty checkpoint, not an error, and parsing stops at the first
-// malformed line — a crash mid-write leaves a torn final line, and
-// everything from there on is re-evaluated anyway.
-func LoadCheckpoint(path string, points []Point) ([]Result, error) {
+// that is valid for the sweep described by want (for a shard run,
+// points is the shard's slice and want carries the shard range). A
+// missing or empty file is an empty checkpoint, not an error. A file
+// whose header is absent, unreadable or from a different sweep —
+// spec, seed, schema version or shard range — is an error: resuming
+// it would silently throw the file away (or worse, mix sweeps), and
+// the caller should either fix the flags or delete the file.
+// Result parsing still stops at the first malformed line: a crash
+// mid-write leaves a torn final line, and everything from there on is
+// re-evaluated anyway.
+func LoadCheckpoint(path string, want Header, points []Point) ([]Result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -50,9 +178,24 @@ func LoadCheckpoint(path string, points []Point) ([]Result, error) {
 		return nil, err
 	}
 	defer f.Close()
+	sc := newScanner(f)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil // empty file: empty checkpoint
+	}
+	h, ok := parseHeader(sc.Bytes())
+	if !ok {
+		return nil, fmt.Errorf("dse: checkpoint %s has no header line (pre-schema file or torn header); delete it or drop -resume", path)
+	}
+	if err := want.sameSweep(h); err != nil {
+		return nil, fmt.Errorf("dse: checkpoint %s is from a different sweep (%v); refusing to resume", path, err)
+	}
+	if !reflect.DeepEqual(h.Shard, want.Shard) {
+		return nil, fmt.Errorf("dse: checkpoint %s covers %v, not %v; refusing to resume", path, shardLabel(h.Shard), shardLabel(want.Shard))
+	}
 	var results []Result
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	for sc.Scan() {
 		var res Result
 		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
@@ -64,4 +207,204 @@ func LoadCheckpoint(path string, points []Point) ([]Result, error) {
 		return nil, err
 	}
 	return MatchPrefix(points, results), nil
+}
+
+// shardLabel names a header's coverage for error messages.
+func shardLabel(s *Shard) string {
+	if s == nil {
+		return "the full sweep"
+	}
+	return s.String()
+}
+
+// ShardFile is one parsed shard result file: its header, decoded
+// results, and the raw result lines (merging re-emits the original
+// bytes, so a merged file is byte-identical to an unsharded run even
+// if a future encoder would format a float differently).
+type ShardFile struct {
+	// Path is where the file was read from.
+	Path string
+	// Header is the file's validated provenance line.
+	Header Header
+	// Results holds the decoded result lines in file order.
+	Results []Result
+	raw     [][]byte
+}
+
+// ReadShardFile reads one shard JSONL file strictly: the header line
+// is mandatory and every subsequent line must decode as a Result.
+// Unlike checkpoint loading, a torn line is an error — a shard
+// offered for merging claims to be complete, and salvaging a prefix
+// here would silently drop points. A header-only file is a valid
+// empty shard (a sweep split into more shards than points produces
+// them).
+func ReadShardFile(path string) (*ShardFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := newScanner(f)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dse: shard %s is empty (no header line)", path)
+	}
+	h, ok := parseHeader(sc.Bytes())
+	if !ok {
+		return nil, fmt.Errorf("dse: shard %s has no header line", path)
+	}
+	sf := &ShardFile{Path: path, Header: h}
+	for sc.Scan() {
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return nil, fmt.Errorf("dse: shard %s line %d is malformed (torn write?): %w", path, len(sf.Results)+2, err)
+		}
+		sf.Results = append(sf.Results, res)
+		sf.raw = append(sf.raw, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// Merged is the outcome of merging shard files back into one sweep:
+// an unsharded-form header plus the union of results in point-ID
+// order. Duplicates records how many identical duplicate lines were
+// dropped (shards with overlapping ranges are legal as long as they
+// agree).
+type Merged struct {
+	// Header is the merged file's header: the shards' common sweep
+	// description with the shard range cleared.
+	Header Header
+	// Results holds every point's result, sorted by point ID.
+	Results []Result
+	// Duplicates counts identical result lines dropped during
+	// de-duplication on point ID.
+	Duplicates int
+	raw        [][]byte
+}
+
+// MergeShards validates and merges shard result files into one sweep.
+// Every file's header must describe the same sweep (schema, spec,
+// seed, spec hash, point count); the spec is re-expanded and
+// re-hashed locally, so a merge run with a drifted engine fails
+// rather than producing a file nothing else can reproduce. Results
+// are de-duplicated on point ID — byte-identical duplicates are
+// dropped, conflicting ones are an error — checked against the local
+// expansion point-for-point, and must cover the full sweep: a missing
+// shard is reported by its missing ID range, not papered over.
+func MergeShards(paths []string) (*Merged, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("dse: no shard files to merge")
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	var files []*ShardFile
+	for _, p := range sorted {
+		sf, err := ReadShardFile(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, sf)
+	}
+	h := files[0].Header
+	for _, sf := range files[1:] {
+		if err := h.sameSweep(sf.Header); err != nil {
+			return nil, fmt.Errorf("dse: shard %s is from a different sweep than %s (%v)", sf.Path, files[0].Path, err)
+		}
+	}
+	if h.Schema != SchemaVersion {
+		return nil, fmt.Errorf("dse: shards use schema %d, this engine writes %d", h.Schema, SchemaVersion)
+	}
+	sw, err := ParseSweep(h.Spec, h.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dse: shard header spec does not parse: %w", err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		return nil, err
+	}
+	if len(points) != h.Points || HashPoints(points) != h.SpecHash {
+		return nil, fmt.Errorf("dse: spec %q re-expands to %d points hash %s, but shards were run with %d points hash %s (engine drift?)",
+			h.Spec, len(points), HashPoints(points), h.Points, h.SpecHash)
+	}
+	m := &Merged{Header: h}
+	m.Header.Shard = nil
+	byID := make([][]byte, len(points))
+	results := make([]Result, len(points))
+	for _, sf := range files {
+		for i, r := range sf.Results {
+			id := r.Point.ID
+			if id < 0 || id >= len(points) {
+				return nil, fmt.Errorf("dse: shard %s carries point ID %d outside the sweep (0..%d)", sf.Path, id, len(points)-1)
+			}
+			if s := sf.Header.Shard; s != nil && (id < s.Lo || id >= s.Hi) {
+				return nil, fmt.Errorf("dse: shard %s carries point ID %d outside its declared range %v", sf.Path, id, *s)
+			}
+			if !reflect.DeepEqual(r.Point, points[id]) {
+				return nil, fmt.Errorf("dse: shard %s point %d does not match the spec expansion", sf.Path, id)
+			}
+			if prev := byID[id]; prev != nil {
+				if !bytes.Equal(prev, sf.raw[i]) {
+					return nil, fmt.Errorf("dse: point %d has conflicting results across shards (%s disagrees with an earlier shard)", id, sf.Path)
+				}
+				m.Duplicates++
+				continue
+			}
+			byID[id] = sf.raw[i]
+			results[id] = r
+		}
+	}
+	missing := 0
+	firstMissing := -1
+	for id, raw := range byID {
+		if raw == nil {
+			missing++
+			if firstMissing < 0 {
+				firstMissing = id
+			}
+		}
+	}
+	if missing > 0 {
+		return nil, fmt.Errorf("dse: merge is missing %d of %d points (first missing ID %d) — is a shard file absent from the glob?",
+			missing, len(points), firstMissing)
+	}
+	m.Results = results
+	m.raw = byID
+	return m, nil
+}
+
+// WriteTo streams the merged sweep — header plus every result line in
+// point-ID order, using the shards' original bytes — to w. The output
+// is byte-identical to an unsharded run of the same spec and seed.
+func (m *Merged) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if err := WriteHeader(cw, m.Header); err != nil {
+		return cw.n, err
+	}
+	for _, line := range m.raw {
+		if _, err := cw.Write(line); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte{'\n'}); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// countWriter counts bytes written through it (io.WriterTo contract).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+// Write forwards to the wrapped writer and tallies bytes.
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -1,0 +1,210 @@
+package dse
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// onePointSpec expands to exactly one design point, so sharding it
+// 3 ways produces two header-only (empty) shard files.
+const onePointSpec = "plat=homog2;wl=carradio"
+
+// TestMergeEmptyAndHeaderOnlyShards: a zero-byte shard file is a loud
+// error (its provenance is unverifiable), while a header-only file is
+// a legal empty shard and merges cleanly.
+func TestMergeEmptyAndHeaderOnlyShards(t *testing.T) {
+	dir := t.TempDir()
+	points := expandSweep(t, onePointSpec, 9)
+	if len(points) != 1 {
+		t.Fatalf("spec expands to %d points, want 1", len(points))
+	}
+	shards, err := PlanShards(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for k := range shards {
+		path := ShardPath(filepath.Join(dir, "s.jsonl"), k)
+		runShardFile(t, path, onePointSpec, 9, &shards[k], 1)
+		paths = append(paths, path)
+	}
+	// Shards 1 and 2 are empty: header line only.
+	for _, p := range paths[1:] {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := bytes.Count(data, []byte("\n")); n != 1 {
+			t.Fatalf("empty shard %s has %d lines, want header only", p, n)
+		}
+		sf, err := ReadShardFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sf.Results) != 0 {
+			t.Fatalf("header-only shard decoded %d results", len(sf.Results))
+		}
+	}
+	m, err := MergeShards(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 1 || m.Duplicates != 0 {
+		t.Fatalf("merged %d results (%d dups), want 1 (0)", len(m.Results), m.Duplicates)
+	}
+	// A zero-byte file must be rejected, both alone and in a merge.
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardFile(empty); err == nil {
+		t.Fatal("zero-byte shard file accepted")
+	}
+	if _, err := MergeShards(append(paths, empty)); err == nil {
+		t.Fatal("merge accepted a zero-byte shard file")
+	}
+}
+
+// TestMergeDeduplicatesOverlappingShards: identical results for the
+// same point ID across files are dropped and counted; conflicting
+// results are an error, not a silent pick.
+func TestMergeDuplicatePointIDs(t *testing.T) {
+	dir := t.TempDir()
+	const spec, seed = "plat=homog2,homog4;wl=carradio,jpeg", 3
+	points := expandSweep(t, spec, seed)
+	shards, err := PlanShards(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := ShardPath(filepath.Join(dir, "d.jsonl"), 0)
+	s1 := ShardPath(filepath.Join(dir, "d.jsonl"), 1)
+	full := filepath.Join(dir, "full.jsonl")
+	runShardFile(t, s0, spec, seed, &shards[0], 1)
+	runShardFile(t, s1, spec, seed, &shards[1], 2)
+	runShardFile(t, full, spec, seed, nil, 4)
+	// The unsharded file overlaps both shards completely: every one
+	// of its lines is a duplicate of a shard line.
+	m, err := MergeShards([]string{s0, s1, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Duplicates != len(points) {
+		t.Fatalf("dropped %d duplicates, want %d", m.Duplicates, len(points))
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("overlap-tolerant merge diverged from unsharded bytes")
+	}
+	// Tamper one metric in the overlapping copy: now the duplicate
+	// conflicts and the merge must refuse.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"busy_ps":`), []byte(`"busy_ps":9`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper marker not found")
+	}
+	bad := filepath.Join(dir, "tampered.jsonl")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]string{s0, s1, bad}); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting duplicate not rejected: %v", err)
+	}
+}
+
+// TestMergeMissingShard: a merge that does not cover the full sweep
+// names the gap instead of writing a silently partial file.
+func TestMergeMissingShard(t *testing.T) {
+	dir := t.TempDir()
+	const spec, seed = "plat=homog2,homog4;wl=carradio,jpeg", 3
+	points := expandSweep(t, spec, seed)
+	shards, err := PlanShards(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := ShardPath(filepath.Join(dir, "m.jsonl"), 0)
+	runShardFile(t, s0, spec, seed, &shards[0], 1)
+	_, err = MergeShards([]string{s0})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("partial merge not rejected: %v", err)
+	}
+}
+
+// TestMergeForeignShards: files from a different seed, a tampered
+// header hash, or a headerless file never merge.
+func TestMergeForeignShards(t *testing.T) {
+	dir := t.TempDir()
+	const spec = "plat=homog2,homog4;wl=carradio,jpeg"
+	points := expandSweep(t, spec, 3)
+	shards, err := PlanShards(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := ShardPath(filepath.Join(dir, "f.jsonl"), 0)
+	runShardFile(t, s0, spec, 3, &shards[0], 1)
+	// Same spec, different seed on the other shard.
+	foreign := ShardPath(filepath.Join(dir, "f.jsonl"), 1)
+	otherPoints := expandSweep(t, spec, 4)
+	otherShards, err := PlanShards(otherPoints, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runShardFile(t, foreign, spec, 4, &otherShards[1], 1)
+	if _, err := MergeShards([]string{s0, foreign}); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("foreign-seed shard not rejected: %v", err)
+	}
+	// A corrupted spec hash must trip the local re-expansion check.
+	data, err := os.ReadFile(s0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHeader(spec, 3, points, &shards[0])
+	drifted := bytes.Replace(data, []byte(h.SpecHash), []byte("deadbeefdeadbeef"), 1)
+	bad := filepath.Join(dir, "drifted.jsonl")
+	if err := os.WriteFile(bad, drifted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]string{bad}); err == nil {
+		t.Fatal("drifted spec hash not rejected")
+	}
+	// Headerless (pre-schema) files are rejected outright.
+	_, rest, _ := bytes.Cut(data, []byte("\n"))
+	headerless := filepath.Join(dir, "headerless.jsonl")
+	if err := os.WriteFile(headerless, rest, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]string{headerless}); err == nil {
+		t.Fatal("headerless shard not rejected")
+	}
+	if _, err := MergeShards(nil); err == nil {
+		t.Fatal("empty merge set accepted")
+	}
+}
+
+// TestHashPoints: the fingerprint moves with the seed and the spec
+// but not with re-expansion.
+func TestHashPoints(t *testing.T) {
+	a := HashPoints(expandSweep(t, "smoke", 1))
+	b := HashPoints(expandSweep(t, "smoke", 1))
+	if a != b {
+		t.Fatal("hash not stable across expansions")
+	}
+	if a == HashPoints(expandSweep(t, "smoke", 2)) {
+		t.Fatal("hash ignores the seed")
+	}
+	if a == HashPoints(expandSweep(t, onePointSpec, 1)) {
+		t.Fatal("hash ignores the spec")
+	}
+}

@@ -50,6 +50,13 @@ func Front(results []Result) []int {
 	return front
 }
 
+// groupKey identifies a point's workload instance: points only
+// compete (for Pareto membership and hypervolume) against points
+// evaluating the same workload with the same size and generator seed.
+func groupKey(p Point) string {
+	return fmt.Sprintf("%s/%d/%d", p.Workload, p.N, p.WorkloadSeed)
+}
+
 // GroupedFront returns the union of per-workload Pareto fronts:
 // design points only compete with points evaluating the same workload
 // instance, so the answer reads as "the non-dominated platform ×
@@ -58,7 +65,7 @@ func Front(results []Result) []int {
 func GroupedFront(results []Result) []int {
 	groups := map[string][]int{}
 	for i, r := range results {
-		key := fmt.Sprintf("%s/%d/%d", r.Point.Workload, r.Point.N, r.Point.WorkloadSeed)
+		key := groupKey(r.Point)
 		groups[key] = append(groups[key], i)
 	}
 	var front []int

@@ -1,0 +1,132 @@
+package dse
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Shard is one contiguous slice [Lo, Hi) of a sweep's expanded point
+// list, assigned to a single worker process. Contiguity keeps every
+// shard's JSONL output a literal substring (by point ID) of the
+// unsharded sweep, so merging shards is concatenation in ID order —
+// no re-evaluation, no reordering ambiguity. Per-point seeds derive
+// from the sweep seed alone (see Sweep.Points), which is what makes
+// shards evaluated on different hosts byte-compatible.
+type Shard struct {
+	// Index identifies this shard, 0-based.
+	Index int `json:"index"`
+	// Count is the total number of shards the sweep was split into.
+	Count int `json:"count"`
+	// Lo is the first point ID of the shard (inclusive).
+	Lo int `json:"lo"`
+	// Hi is one past the last point ID of the shard (exclusive). A
+	// shard with Lo == Hi is empty — legal when a sweep has fewer
+	// points than shards — and its result file is header-only.
+	Hi int `json:"hi"`
+}
+
+// Len returns the number of points in the shard.
+func (s Shard) Len() int { return s.Hi - s.Lo }
+
+// String names the shard for progress and error messages.
+func (s Shard) String() string {
+	return fmt.Sprintf("shard %d/%d (points %d..%d)", s.Index, s.Count, s.Lo, s.Hi)
+}
+
+// EstCost estimates a point's relative evaluation cost for shard
+// load balancing. It is a planning heuristic, not a measurement: the
+// instruction-level vp fidelity dominates everything task-level, the
+// pipelined fidelity scales with its iteration count, the RTOS job
+// bag scales with job count, and the search heuristics multiply the
+// number of candidate schedules evaluated. Only the ratio between
+// point costs matters, and PlanShards is deterministic for any fixed
+// cost function.
+func EstCost(p Point) float64 {
+	c := 1.0 + 0.25*float64(p.Plat.CoreCount())
+	switch p.Fidelity {
+	case "pipe":
+		it := p.Iterations
+		if it <= 0 {
+			it = 8
+		}
+		c *= 1 + float64(it)/4
+	case "vp":
+		c *= 30
+	case "rtos":
+		n := p.N
+		if n <= 0 {
+			n = 32
+		}
+		c *= 1 + float64(n)/16
+	}
+	switch p.Heuristic {
+	case "anneal":
+		c *= 3
+	case "exhaustive":
+		c *= 10
+	}
+	return c
+}
+
+// PlanShards splits the expanded point list into n contiguous shards
+// balanced on EstCost: shard k closes once its cumulative cost
+// reaches k+1 n-ths of the sweep total, so expensive regions of the
+// cross product (vp fidelity, wide platforms) spread across shards
+// instead of landing on whoever drew the high point IDs. Every shard
+// takes at least one point while points remain; with more shards than
+// points the tail shards come out empty. The plan is a pure function
+// of (points, n) — every worker process computes the same plan from
+// the same spec, so no coordinator is needed.
+func PlanShards(points []Point, n int) ([]Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dse: shard count must be >= 1 (got %d)", n)
+	}
+	total := 0.0
+	for _, p := range points {
+		total += EstCost(p)
+	}
+	shards := make([]Shard, n)
+	lo, cum := 0, 0.0
+	for k := 0; k < n; k++ {
+		hi := lo
+		if k == n-1 {
+			hi = len(points)
+		} else {
+			target := total * float64(k+1) / float64(n)
+			for hi < len(points) && (hi == lo || cum+EstCost(points[hi]) <= target) {
+				cum += EstCost(points[hi])
+				hi++
+			}
+		}
+		shards[k] = Shard{Index: k, Count: n, Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return shards, nil
+}
+
+// ParseShardArg parses a -shard flag value "k/n" (0-based shard k of
+// n total), e.g. "0/4" … "3/4".
+func ParseShardArg(s string) (k, n int, err error) {
+	ks, ns, ok := strings.Cut(s, "/")
+	if ok {
+		k, err = strconv.Atoi(strings.TrimSpace(ks))
+		if err == nil {
+			n, err = strconv.Atoi(strings.TrimSpace(ns))
+		}
+	}
+	if !ok || err != nil || n < 1 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("dse: bad shard %q (want k/n with 0 <= k < n)", s)
+	}
+	return k, n, nil
+}
+
+// ShardPath derives a shard's output filename from the base -out
+// path: "dse.jsonl" becomes "dse.shard-2.jsonl" for shard 2. The
+// suffix goes before the final extension so globbing "dse.shard-*"
+// collects exactly one sweep's shards.
+func ShardPath(out string, k int) string {
+	ext := filepath.Ext(out)
+	return strings.TrimSuffix(out, ext) + ".shard-" + strconv.Itoa(k) + ext
+}

@@ -1,0 +1,199 @@
+package dse
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func expandSweep(t *testing.T, spec string, seed uint64) []Point {
+	t.Helper()
+	sw, err := ParseSweep(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+// TestPlanShardsProperties: shards are contiguous, cover every point
+// exactly once, stay within the greedy balance bound, and the plan is
+// a pure function of (points, n).
+func TestPlanShardsProperties(t *testing.T) {
+	points := expandSweep(t, "default", 1)
+	total, maxCost := 0.0, 0.0
+	for _, p := range points {
+		c := EstCost(p)
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	for _, n := range []int{1, 2, 3, 5, 8, 31} {
+		shards, err := PlanShards(points, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shards) != n {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+		lo := 0
+		for k, s := range shards {
+			if s.Index != k || s.Count != n {
+				t.Fatalf("n=%d shard %d mislabelled: %+v", n, k, s)
+			}
+			if s.Lo != lo || s.Hi < s.Lo {
+				t.Fatalf("n=%d shard %d not contiguous: %+v (want Lo=%d)", n, k, s, lo)
+			}
+			cost := 0.0
+			for _, p := range points[s.Lo:s.Hi] {
+				cost += EstCost(p)
+			}
+			if bound := total/float64(n) + maxCost + 1e-9; cost > bound {
+				t.Fatalf("n=%d shard %d cost %.1f exceeds balance bound %.1f", n, k, cost, bound)
+			}
+			lo = s.Hi
+		}
+		if lo != len(points) {
+			t.Fatalf("n=%d shards cover %d of %d points", n, lo, len(points))
+		}
+		again, _ := PlanShards(points, n)
+		if !reflect.DeepEqual(shards, again) {
+			t.Fatalf("n=%d plan is not deterministic", n)
+		}
+	}
+	// More shards than points: one point each, then empty tails.
+	few := points[:3]
+	shards, err := PlanShards(few, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range shards {
+		want := 1
+		if k >= len(few) {
+			want = 0
+		}
+		if s.Len() != want {
+			t.Fatalf("shard %d of 7 over 3 points has %d points (want %d)", k, s.Len(), want)
+		}
+	}
+	if _, err := PlanShards(points, 0); err == nil {
+		t.Fatal("PlanShards accepted n=0")
+	}
+}
+
+func TestParseShardArg(t *testing.T) {
+	k, n, err := ParseShardArg("2/5")
+	if err != nil || k != 2 || n != 5 {
+		t.Fatalf("ParseShardArg(2/5) = %d, %d, %v", k, n, err)
+	}
+	for _, bad := range []string{"", "3", "5/5", "-1/3", "a/b", "1/0", "1/-2"} {
+		if _, _, err := ParseShardArg(bad); err == nil {
+			t.Errorf("ParseShardArg(%q) accepted", bad)
+		}
+	}
+}
+
+func TestShardPath(t *testing.T) {
+	for _, tc := range []struct {
+		out  string
+		k    int
+		want string
+	}{
+		{"dse.jsonl", 2, "dse.shard-2.jsonl"},
+		{"out", 0, "out.shard-0"},
+		{"/tmp/v1.2/out", 1, "/tmp/v1.2/out.shard-1"},
+		{"/tmp/run/a.jsonl", 3, "/tmp/run/a.shard-3.jsonl"},
+	} {
+		if got := ShardPath(tc.out, tc.k); got != tc.want {
+			t.Errorf("ShardPath(%q, %d) = %q, want %q", tc.out, tc.k, got, tc.want)
+		}
+	}
+}
+
+// runShardFile emulates one cmd/dse shard invocation in-process:
+// header line plus the shard's results streamed in point order.
+func runShardFile(t *testing.T, path, spec string, seed uint64, shard *Shard, workers int) {
+	t.Helper()
+	points := expandSweep(t, spec, seed)
+	slice := points
+	if shard != nil {
+		slice = points[shard.Lo:shard.Hi]
+	}
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, NewHeader(spec, seed, points, shard)); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Workers: workers, OnResult: func(r Result) {
+		if err := WriteResult(&buf, r); err != nil {
+			t.Error(err)
+		}
+	}}
+	for _, r := range eng.Run(slice) {
+		if r.Err != "" {
+			t.Fatalf("point %d failed: %s", r.Point.ID, r.Err)
+		}
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardMergeByteIdentity is the distribution contract: splitting
+// the default sweep into k shards (each evaluated with a different
+// worker count, as different hosts would), then merging, must
+// reproduce the unsharded JSONL byte for byte — and therefore the
+// same Pareto fronts and hypervolumes — for shard counts 2 and 5.
+func TestShardMergeByteIdentity(t *testing.T) {
+	spec := "default"
+	if testing.Short() {
+		spec = "smoke"
+	}
+	const seed = 1
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	runShardFile(t, full, spec, seed, nil, 4)
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := expandSweep(t, spec, seed)
+	wantHV := HVTable(Hypervolumes(mustMerge(t, []string{full}).Results), false)
+	for _, n := range []int{2, 5} {
+		shards, err := PlanShards(points, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var paths []string
+		for k := range shards {
+			path := ShardPath(filepath.Join(dir, "s.jsonl"), k)
+			runShardFile(t, path, spec, seed, &shards[k], k+1)
+			paths = append(paths, path)
+		}
+		m := mustMerge(t, paths)
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("%d-shard merge diverged from unsharded run (%d vs %d bytes)", n, buf.Len(), len(want))
+		}
+		if gotHV := HVTable(Hypervolumes(m.Results), false); gotHV != wantHV {
+			t.Fatalf("%d-shard hypervolumes diverged:\n%s\nvs\n%s", n, gotHV, wantHV)
+		}
+	}
+}
+
+func mustMerge(t *testing.T, paths []string) *Merged {
+	t.Helper()
+	m, err := MergeShards(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -14,6 +14,7 @@ type WorkloadSpec struct {
 	N    int    // synth task count / jobs job count
 }
 
+// String renders the workload token ("jpeg", "synth16", …).
 func (w WorkloadSpec) String() string {
 	if w.N > 0 {
 		return fmt.Sprintf("%s%d", w.Kind, w.N)
@@ -28,6 +29,7 @@ type FidelitySpec struct {
 	Quantum    int    // vp
 }
 
+// String renders the fidelity token ("mvp", "pipe8", "vp64").
 func (f FidelitySpec) String() string {
 	switch f.Kind {
 	case "pipe":

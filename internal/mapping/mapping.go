@@ -33,6 +33,7 @@ const (
 	Exhaustive
 )
 
+// String returns the heuristic's flag/spec name.
 func (h Heuristic) String() string {
 	switch h {
 	case List:
