@@ -40,11 +40,14 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mpsockit/internal/dse"
@@ -61,7 +64,27 @@ func main() {
 	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter")
 	hypervolume := flag.Bool("hypervolume", false, "print the per-workload front hypervolume indicator")
 	hvRef := flag.String("hv-ref", "", "JSONL sweep file whose results co-define the hypervolume reference box (for cross-sweep comparison)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
+	benchJSON := flag.String("bench-json", "", "after the sweep, write a machine-readable timing record (points/sec, wall time, GOMAXPROCS) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPUProfile = func() {
+			stopCPUProfile = func() {}
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	baseline := loadBaseline(*hvRef)
 	if *mergeGlob != "" {
@@ -159,6 +182,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "dse: evaluated %d points (%d failed) in %.2fs\n",
 		len(remaining), failed, time.Since(start).Seconds())
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON, *sweepSpec, *seed, len(remaining), time.Since(start), *workers)
+	}
 	if shard != nil && (*pareto || *hypervolume) {
 		fmt.Fprintf(os.Stderr, "dse: note: fronts below cover only %s; merge all shards for the full sweep\n", shard)
 	}
@@ -244,7 +270,70 @@ func report(results []dse.Result, pareto, hypervolume bool, baseline []dse.Resul
 	}
 }
 
+// writeMemProfile dumps the heap profile (after a final GC) to path;
+// no-op when path is empty.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
+}
+
+// benchRecord is the -bench-json output: one line of sweep-throughput
+// ground truth so successive PRs have a perf trajectory to compare
+// (see docs/performance.md and BENCH_dse.json).
+type benchRecord struct {
+	Sweep        string  `json:"sweep"`
+	Seed         uint64  `json:"seed"`
+	Points       int     `json:"points"`
+	WallS        float64 `json:"wall_s"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+}
+
+func writeBenchJSON(path, sweep string, seed uint64, points int, wall time.Duration, workers int) {
+	rec := benchRecord{
+		Sweep:  sweep,
+		Seed:   seed,
+		Points: points,
+		WallS:  wall.Seconds(),
+		Workers: func() int {
+			if workers > 0 {
+				return workers
+			}
+			return runtime.GOMAXPROCS(0)
+		}(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if wall > 0 {
+		rec.PointsPerSec = float64(points) / wall.Seconds()
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dse: bench record -> %s (%.1f points/sec)\n", path, rec.PointsPerSec)
+}
+
+// stopCPUProfile flushes an in-progress CPU profile; fatal calls it
+// so error exits (which bypass main's defers) still leave a readable
+// profile behind.
+var stopCPUProfile = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dse:", err)
+	stopCPUProfile()
 	os.Exit(1)
 }

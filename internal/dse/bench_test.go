@@ -1,0 +1,28 @@
+package dse
+
+import "testing"
+
+// BenchmarkSweepPoint measures one task-level design-point evaluation
+// end to end (platform build, mapping search, mapped execution) — the
+// unit of work the sweep engine repeats hundreds of times per run.
+func BenchmarkSweepPoint(b *testing.B) {
+	p := Point{
+		ID:   0,
+		Seed: 12345,
+		Plat: PlatSpec{Kind: "wireless", Fabric: "mesh", DVFS: 1},
+
+		Workload:     "synth",
+		N:            16,
+		WorkloadSeed: 99,
+		Heuristic:    "anneal",
+		Fidelity:     "mvp",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Evaluate(p)
+		if r.Err != "" {
+			b.Fatal(r.Err)
+		}
+	}
+}

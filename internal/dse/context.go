@@ -1,0 +1,118 @@
+package dse
+
+import (
+	"fmt"
+
+	"mpsockit/internal/isa"
+	"mpsockit/internal/mapping"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+)
+
+// EvalContext is a per-worker evaluation context: it owns the reused
+// simulation kernels, the workload-graph prototypes, and the mapping
+// scratch that successive design points share while one worker drains
+// its slice of a sweep. Point evaluation is deterministic per point
+// (everything is derived from the point's own seeds), so reuse cannot
+// leak state between points: a reset kernel is observably identical
+// to a fresh one (sim.Kernel.Reset), graph prototypes are immutable
+// once built, and the mapping evaluator rebinds per point. The sweep
+// byte-identity tests hold exactly that — any worker count, fresh or
+// reused context, same bytes.
+//
+// An EvalContext is not safe for concurrent use; Engine.Run gives
+// each worker its own.
+type EvalContext struct {
+	// k runs mapped executions and the RTOS scheduler; vk runs the
+	// instruction-level vp refinement. A kernel is Reset between
+	// points and discarded when an evaluation leaves live processes
+	// behind (parked RTOS services, deadlocked executions).
+	k  *sim.Kernel
+	vk *sim.Kernel
+	// me is the reusable mapping scratch, rebound per point.
+	me mapping.Evaluator
+	// graphs caches built workload task graphs: every point of a
+	// sweep that shares (workload, N, seed) maps the identical
+	// prototype, so the graph and its adjacency view are built once
+	// per worker instead of once per point.
+	graphs map[graphKey]*taskgraph.Graph
+	// progs caches assembled vp calibration loops by iteration count.
+	progs map[int64]*isa.Program
+}
+
+type graphKey struct {
+	kind string
+	n    int
+	seed uint64
+}
+
+// NewEvalContext returns an empty context; kernels and caches
+// materialize on first use.
+func NewEvalContext() *EvalContext {
+	return &EvalContext{
+		graphs: map[graphKey]*taskgraph.Graph{},
+		progs:  map[int64]*isa.Program{},
+	}
+}
+
+// reuseKernel returns *kp reset for the next point, replacing it with
+// a fresh kernel when live processes make reset impossible.
+func reuseKernel(kp **sim.Kernel) *sim.Kernel {
+	if *kp == nil || (*kp).LiveProcs() > 0 {
+		*kp = sim.NewKernel()
+	} else {
+		(*kp).Reset()
+	}
+	return *kp
+}
+
+// graph returns the point's workload task graph prototype, building
+// and caching it on first sight of (workload, N, seed).
+func (c *EvalContext) graph(p Point) (*taskgraph.Graph, error) {
+	key := graphKey{kind: p.Workload, n: p.N, seed: p.WorkloadSeed}
+	if g, ok := c.graphs[key]; ok {
+		return g, nil
+	}
+	g, err := buildGraph(p)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize the adjacency view now: the prototype is immutable
+	// from here on, and every mapping of it starts from the view.
+	g.View()
+	c.graphs[key] = g
+	return g, nil
+}
+
+// cyclesPerIter is the vp calibration loop body cost: addi(1) +
+// mul(3) + bne(2) = 6 cycles under TimingRISC.
+const cyclesPerIter = 6
+
+// assembleLoop assembles the vp calibration loop that busy-spins for
+// iters iterations.
+func assembleLoop(iters int64) (*isa.Program, error) {
+	return isa.Assemble(fmt.Sprintf(`
+	li r10, %d
+loop:
+	addi r8, r8, 1
+	mul  r9, r8, r8
+	bne  r8, r10, loop
+	halt
+`, iters))
+}
+
+// loopProg returns the assembled vp calibration loop for the given
+// iteration count, cached — the assembly source only varies in the
+// loop bound, and sweeps re-measure the same handful of bounds
+// constantly.
+func (c *EvalContext) loopProg(iters int64) (*isa.Program, error) {
+	if prog, ok := c.progs[iters]; ok {
+		return prog, nil
+	}
+	prog, err := assembleLoop(iters)
+	if err != nil {
+		return nil, err
+	}
+	c.progs[iters] = prog
+	return prog, nil
+}

@@ -185,8 +185,12 @@ func (e *Engine) Run(points []Point) []Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One context per worker: kernels, workload prototypes and
+			// mapping scratch are reused across the points this worker
+			// drains, with no cross-worker sharing.
+			ctx := NewEvalContext()
 			for idx := range jobs {
-				results[idx] = Evaluate(points[idx])
+				results[idx] = ctx.Evaluate(points[idx])
 				completed <- idx
 			}
 		}()

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"mpsockit/internal/isa"
 	"mpsockit/internal/mapping"
 	"mpsockit/internal/noc"
 	"mpsockit/internal/platform"
@@ -28,8 +27,19 @@ var classArea = map[platform.PEClass]float64{
 
 // Evaluate scores one design point on a private kernel. It never
 // panics the sweep: evaluation failures come back in Result.Err.
+// Callers evaluating many points should construct one EvalContext per
+// goroutine and use its Evaluate method, which reuses kernels and
+// workload prototypes across points.
 func Evaluate(p Point) Result {
-	m, err := evaluate(p)
+	return NewEvalContext().Evaluate(p)
+}
+
+// Evaluate scores one design point using the context's reused
+// kernels, graph prototypes and mapping scratch. It never panics the
+// sweep: evaluation failures come back in Result.Err. Results are
+// byte-identical to a fresh-context evaluation.
+func (c *EvalContext) Evaluate(p Point) Result {
+	m, err := c.evaluate(p)
 	r := Result{Point: p, Metrics: m}
 	if err != nil {
 		r.Err = err.Error()
@@ -37,8 +47,8 @@ func Evaluate(p Point) Result {
 	return r
 }
 
-func evaluate(p Point) (Metrics, error) {
-	k := sim.NewKernel()
+func (c *EvalContext) evaluate(p Point) (Metrics, error) {
+	k := reuseKernel(&c.k)
 	plat, area, err := buildPlatform(k, p.Plat)
 	if err != nil {
 		return Metrics{}, err
@@ -46,7 +56,7 @@ func evaluate(p Point) (Metrics, error) {
 	if p.Workload == "jobs" {
 		return evalJobs(p, k, plat, area)
 	}
-	g, err := buildGraph(p)
+	g, err := c.graph(p)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -65,7 +75,8 @@ func evaluate(p Point) (Metrics, error) {
 			units = 8
 		}
 	}
-	a, err := mapping.Map(g, plat, opt)
+	c.me.Bind(g, plat)
+	a, err := c.me.Map(opt)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -84,7 +95,7 @@ func evaluate(p Point) (Metrics, error) {
 	m := metricsFrom(plat, stats, area, units)
 	m.SimEvents = k.Executed
 	if p.Fidelity == "vp" {
-		makespan, events, instr, err := vpRefine(p, stats)
+		makespan, events, instr, err := c.vpRefine(p, stats)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -223,7 +234,7 @@ func metricsFrom(plat *platform.Platform, stats mapping.ExecStats, area float64,
 // the bottleneck core plus the task-level communication slack; the
 // returned event/instruction counts expose the fidelity-versus-cost
 // trade of experiment E13.
-func vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint64, uint64, error) {
+func (c *EvalContext) vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint64, uint64, error) {
 	type peBusy struct {
 		pe   int
 		busy sim.Time
@@ -254,24 +265,15 @@ func vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint64, uint64, error
 	if cfg.Quantum < 1 {
 		cfg.Quantum = 1
 	}
-	vk := sim.NewKernel()
+	vk := reuseKernel(&c.vk)
 	v := vp.New(vk, cfg)
 	cyclePS := int64(sim.Second) / cfg.HzPer
-	// Loop body: addi(1) + mul(3) + bne(2) = 6 cycles under TimingRISC.
-	const cyclesPerIter = 6
 	for i, e := range busiest {
 		iters := int64(e.busy) / cyclePS / cyclesPerIter
 		if iters < 1 {
 			iters = 1
 		}
-		prog, err := isa.Assemble(fmt.Sprintf(`
-	li r10, %d
-loop:
-	addi r8, r8, 1
-	mul  r9, r8, r8
-	bne  r8, r10, loop
-	halt
-`, iters))
+		prog, err := c.loopProg(iters)
 		if err != nil {
 			return 0, 0, 0, err
 		}

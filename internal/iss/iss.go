@@ -9,6 +9,7 @@
 package iss
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"mpsockit/internal/isa"
@@ -101,6 +102,19 @@ type CPU struct {
 	// IntTaken counts taken interrupts.
 	IntTaken uint64
 
+	// LocalFetch, when non-nil, backs instruction fetches for
+	// addresses [0, len(LocalFetch)) directly, bypassing the Bus
+	// interface call. Owners whose bus routes that address range to
+	// hook-free local memory (the virtual platform's per-core local
+	// stores) set it; fetches outside the window still go through the
+	// Bus, so faults and memory-mapped regions behave identically.
+	LocalFetch []byte
+
+	// dcache is the direct-mapped decode cache, indexed by word PC.
+	// Entries are validated against the fetched raw word (Instr.Raw),
+	// so self-modifying code can never observe a stale decode.
+	dcache []isa.Instr
+
 	// OnEcall handles ECALL instructions; the service number travels
 	// in v0 and arguments in a0..a3. It returns extra cycles charged.
 	// A nil handler makes ECALL illegal.
@@ -112,9 +126,13 @@ type CPU struct {
 	Trace func(c *CPU, pc uint32, ins isa.Instr)
 }
 
+// dcacheSize is the decode cache's entry count (power of two); 512
+// entries cover 2 KiB of straight-line code.
+const dcacheSize = 512
+
 // New returns a CPU with the given ID wired to bus.
 func New(id int, bus Bus, timing *isa.Timing) *CPU {
-	return &CPU{ID: id, Bus: bus, Timing: timing}
+	return &CPU{ID: id, Bus: bus, Timing: timing, dcache: make([]isa.Instr, dcacheSize)}
 }
 
 // State is a snapshot of the CPU-architectural state (memory is owned
@@ -179,13 +197,28 @@ func (c *CPU) Step() int64 {
 		c.Cycles += 4
 		return 4
 	}
-	raw, err := c.Bus.Load(c.ID, c.PC, 4)
-	if err != nil {
-		return c.fail(fmt.Errorf("fetch at 0x%08x: %w", c.PC, err))
+	var raw uint32
+	if end := c.PC + 4; c.LocalFetch != nil && end > c.PC && end <= uint32(len(c.LocalFetch)) {
+		raw = binary.LittleEndian.Uint32(c.LocalFetch[c.PC:])
+	} else {
+		var err error
+		raw, err = c.Bus.Load(c.ID, c.PC, 4)
+		if err != nil {
+			return c.fail(fmt.Errorf("fetch at 0x%08x: %w", c.PC, err))
+		}
 	}
-	ins := isa.Decode(raw)
-	if !ins.Valid {
-		return c.fail(fmt.Errorf("illegal instruction 0x%08x at 0x%08x", raw, c.PC))
+	if len(c.dcache) == 0 { // zero-value CPU constructed without New
+		c.dcache = make([]isa.Instr, dcacheSize)
+	}
+	var ins isa.Instr
+	if d := &c.dcache[(c.PC>>2)&(dcacheSize-1)]; d.Raw == raw && d.Valid {
+		ins = *d
+	} else {
+		ins = isa.Decode(raw)
+		if !ins.Valid {
+			return c.fail(fmt.Errorf("illegal instruction 0x%08x at 0x%08x", raw, c.PC))
+		}
+		*d = ins
 	}
 	if c.Trace != nil {
 		c.Trace(c, c.PC, ins)

@@ -1,0 +1,84 @@
+package mapping
+
+import (
+	"testing"
+
+	"mpsockit/internal/workload"
+)
+
+// Benchmarks of the candidate-evaluation hot path. These are the
+// numbers docs/performance.md tracks PR-to-PR: evaluate and
+// objectiveCost must stay at 0 allocs/op (CI guards this), and
+// BenchmarkAnneal is the headline mapping-search figure.
+
+func BenchmarkEvaluate(b *testing.B) {
+	g := workload.SyntheticTaskGraph(16, 42)
+	plat := wirelessPlat()
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(g, plat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ev.schedule(a.TaskPE, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnnealCost(b *testing.B) {
+	g := workload.SyntheticTaskGraph(16, 42)
+	plat := wirelessPlat()
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(g, plat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.objectiveCost(Makespan, a.TaskPE)
+	}
+}
+
+func BenchmarkAnneal(b *testing.B) {
+	g := workload.SyntheticTaskGraph(16, 42)
+	plat := wirelessPlat()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(g, plat, Options{Heuristic: Anneal, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustive(b *testing.B) {
+	g := workload.CarRadioTaskGraph()
+	plat := wirelessPlat()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(g, plat, Options{Heuristic: Exhaustive}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecute(b *testing.B) {
+	g := workload.JPEGTaskGraph()
+	plat := wirelessPlat()
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,16 +5,32 @@
 // requirements and preferred PE classes."
 //
 // Three mappers are provided: HEFT-style list scheduling, simulated
-// annealing refinement, and exhaustive search for small instances.
-// Execute runs a mapped graph on the event-driven platform model with
-// real fabric contention — the fast high-level simulation that plays
-// the role of the MAPS Virtual Platform (MVP) in experiments.
+// annealing refinement, and branch-and-bound exhaustive search for
+// small instances. Execute runs a mapped graph on the event-driven
+// platform model with real fabric contention — the fast high-level
+// simulation that plays the role of the MAPS Virtual Platform (MVP)
+// in experiments.
+//
+// # Hot-path design
+//
+// Candidate evaluation is the inner loop of design-space exploration
+// (thousands of scored assignments per anneal, one per leaf of the
+// exhaustive search), so it is engineered as a zero-allocation hot
+// path: an Evaluator binds one (graph, platform) pair, precomputes
+// capable-core sets and per-(task, core) execution times from the
+// graph's cached taskgraph.View, and scores assignments into reused
+// scratch. The annealer mutates one task per move and reverts on
+// reject instead of copying assignments; for the throughput objective
+// the move cost is an O(cores) incremental load update. The search
+// results are byte-identical to the naive implementations — the
+// regression tests in this package hold that equivalence.
 package mapping
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"mpsockit/internal/platform"
@@ -93,49 +109,150 @@ type Assignment struct {
 	Makespan sim.Time
 }
 
-// capable lists core IDs that can run task t, respecting a preferred
-// PE class when one is available.
-func capable(g *taskgraph.Graph, plat *platform.Platform, t *taskgraph.Task) []int {
-	var pref, all []int
-	for _, c := range plat.Cores {
-		if !t.CanRunOn(c.Class) {
-			continue
-		}
-		all = append(all, c.ID)
-		if t.HasPref && c.Class == t.PreferredPE {
-			pref = append(pref, c.ID)
-		}
-	}
-	if t.HasPref && len(pref) > 0 {
-		return pref
-	}
-	return all
+// Evaluator is a reusable candidate-scoring context for one (graph,
+// platform) pair. It precomputes what every cost evaluation needs —
+// the graph's cached adjacency view, per-task capable-core sets, and
+// per-(task, core) execution times at the cores' current DVFS levels
+// — and keeps scratch arrays alive across evaluations, so scoring an
+// assignment allocates nothing. Rebind (or construct) after changing
+// the graph, the platform, or a core's DVFS level; an Evaluator is
+// not safe for concurrent use.
+type Evaluator struct {
+	g    *taskgraph.Graph
+	plat *platform.Platform
+	view *taskgraph.View
+
+	capab  [][]int // per task: capable core IDs (preferred-PE filtered)
+	capBuf []int   // backing array for capab
+
+	// durs[id*nPE+pe] is the task's execution time on core pe at its
+	// bound DVFS level, or -1 when the task cannot run there.
+	durs []sim.Time
+	// infCost[pe] is Cycles(1<<50) — the legacy "impossible" charge the
+	// throughput objective adds for an infeasible placement, kept
+	// bit-identical to the pre-Evaluator implementation.
+	infCost []sim.Time
+
+	peAvail []sim.Time
+	finish  []sim.Time
+	load    []sim.Time
 }
 
-// evaluate computes the static schedule for a fixed assignment:
+// NewEvaluator returns an evaluator bound to (g, plat). The graph's
+// edges must reference tasks in range (anything built through
+// AddTask/Connect is); use Map, which validates first, for untrusted
+// graphs.
+func NewEvaluator(g *taskgraph.Graph, plat *platform.Platform) *Evaluator {
+	e := &Evaluator{}
+	e.Bind(g, plat)
+	return e
+}
+
+// Bind repoints the evaluator at (g, plat), reusing its scratch
+// storage. Call it again after structural graph changes or core DVFS
+// level changes; the per-(task, core) time table is frozen at bind
+// time.
+func (e *Evaluator) Bind(g *taskgraph.Graph, plat *platform.Platform) {
+	e.g, e.plat = g, plat
+	e.view = g.View()
+	n := len(g.Tasks)
+	nPE := len(plat.Cores)
+
+	if cap(e.capab) < n {
+		e.capab = make([][]int, n)
+	}
+	e.capab = e.capab[:n]
+	need := n * nPE
+	if cap(e.capBuf) < need {
+		e.capBuf = make([]int, 0, need)
+	}
+	e.capBuf = e.capBuf[:0]
+	if cap(e.durs) < need {
+		e.durs = make([]sim.Time, need)
+	}
+	e.durs = e.durs[:need]
+	e.infCost = growTime(e.infCost, nPE)
+	e.peAvail = growTime(e.peAvail, nPE)
+	e.finish = growTime(e.finish, n)
+	e.load = growTime(e.load, nPE)
+
+	for pe, c := range plat.Cores {
+		e.infCost[pe] = c.Cycles(1 << 50)
+	}
+	v := e.view
+	for id, t := range g.Tasks {
+		usePref := false
+		if t.HasPref {
+			for _, c := range plat.Cores {
+				if c.Class == t.PreferredPE && v.CanRunOn(id, c.Class) {
+					usePref = true
+					break
+				}
+			}
+		}
+		start := len(e.capBuf)
+		for _, c := range plat.Cores {
+			if !v.CanRunOn(id, c.Class) {
+				e.durs[id*nPE+c.ID] = -1
+				continue
+			}
+			e.durs[id*nPE+c.ID] = c.Cycles(v.CyclesOn(id, c.Class))
+			if !usePref || c.Class == t.PreferredPE {
+				e.capBuf = append(e.capBuf, c.ID)
+			}
+		}
+		e.capab[id] = e.capBuf[start:len(e.capBuf):len(e.capBuf)]
+	}
+}
+
+// growTime returns s resized to n, reusing its backing array.
+func growTime(s []sim.Time, n int) []sim.Time {
+	if cap(s) < n {
+		return make([]sim.Time, n)
+	}
+	return s[:n]
+}
+
+// Capable returns the core IDs that can run task id, respecting a
+// preferred PE class when one is available. The slice is the
+// evaluator's own — read-only.
+func (e *Evaluator) Capable(id int) []int { return e.capab[id] }
+
+// schedule computes the static schedule for a fixed assignment:
 // topological order, communication charged at contention-free fabric
-// estimates, one task at a time per PE.
-func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Time, []Slot, error) {
-	order, err := g.TopoOrder()
+// estimates, one task at a time per PE. With wantSlots false it runs
+// entirely in reused scratch — zero allocations — and returns only
+// the makespan; with wantSlots true it allocates a fresh slot list
+// for the caller to keep.
+func (e *Evaluator) schedule(taskPE []int, wantSlots bool) (sim.Time, []Slot, error) {
+	v := e.view
+	order, err := v.TopoOrder()
 	if err != nil {
 		return 0, nil, err
 	}
-	peAvail := make([]sim.Time, len(plat.Cores))
-	finish := make([]sim.Time, len(g.Tasks))
-	slots := make([]Slot, 0, len(g.Tasks))
+	nPE := len(e.plat.Cores)
+	peAvail := e.peAvail
+	for i := range peAvail {
+		peAvail[i] = 0
+	}
+	finish := e.finish
+	var slots []Slot
+	if wantSlots {
+		slots = make([]Slot, 0, len(order))
+	}
 	var makespan sim.Time
 	for _, id := range order {
-		t := g.Tasks[id]
 		pe := taskPE[id]
-		core := plat.Core(pe)
-		if !t.CanRunOn(core.Class) {
-			return 0, nil, fmt.Errorf("mapping: task %q cannot run on core %d (%v)", t.Name, pe, core.Class)
+		dur := e.durs[id*nPE+pe]
+		if dur < 0 {
+			t := e.g.Tasks[id]
+			return 0, nil, fmt.Errorf("mapping: task %q cannot run on core %d (%v)", t.Name, pe, e.plat.Core(pe).Class)
 		}
 		ready := sim.Time(0)
-		for _, p := range g.Preds(id) {
-			arr := finish[p]
-			if taskPE[p] != pe {
-				arr += plat.Fabric.EstLatency(taskPE[p], pe, g.InBytes(p, id))
+		for _, pr := range v.Preds(id) {
+			arr := finish[pr.Task]
+			if taskPE[pr.Task] != pe {
+				arr += e.plat.Fabric.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
 			}
 			if arr > ready {
 				ready = arr
@@ -145,10 +262,12 @@ func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Ti
 		if peAvail[pe] > start {
 			start = peAvail[pe]
 		}
-		end := start + core.Cycles(t.CyclesOn(core.Class))
+		end := start + dur
 		peAvail[pe] = end
 		finish[id] = end
-		slots = append(slots, Slot{Task: id, PE: pe, Start: start, Finish: end})
+		if wantSlots {
+			slots = append(slots, Slot{Task: id, PE: pe, Start: start, Finish: end})
+		}
 		if end > makespan {
 			makespan = end
 		}
@@ -156,16 +275,68 @@ func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Ti
 	return makespan, slots, nil
 }
 
-// Map assigns g's tasks onto plat with the selected heuristic.
+// evaluate is the legacy entry point kept for the equivalence tests:
+// score one assignment with a throwaway evaluator.
+func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Time, []Slot, error) {
+	return NewEvaluator(g, plat).schedule(taskPE, true)
+}
+
+// objectiveCost scores an assignment under the selected objective:
+// static-schedule makespan, or the pipeline's steady-state period
+// (the most-loaded core) for throughput. Zero allocations.
+func (e *Evaluator) objectiveCost(objective Objective, assign []int) sim.Time {
+	if objective == Throughput {
+		nPE := len(e.plat.Cores)
+		load := e.load
+		for i := range load {
+			load[i] = 0
+		}
+		var worst sim.Time
+		for id, pe := range assign {
+			d := e.durs[id*nPE+pe]
+			if d < 0 {
+				d = e.infCost[pe]
+			}
+			load[pe] += d
+			if load[pe] > worst {
+				worst = load[pe]
+			}
+		}
+		return worst
+	}
+	mk, _, err := e.schedule(assign, false)
+	if err != nil {
+		return sim.Forever
+	}
+	return mk
+}
+
+// Map assigns g's tasks onto plat with the selected heuristic, using
+// a fresh Evaluator. Callers mapping many candidates against reusable
+// scratch should construct an Evaluator once and call its Map method.
 func Map(g *taskgraph.Graph, plat *platform.Platform, opt Options) (*Assignment, error) {
+	// Validate before building the evaluator: its adjacency view
+	// indexes edge endpoints unchecked, and a malformed graph (edges
+	// edited outside AddTask/Connect) must surface as the Validate
+	// error, not a panic.
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return NewEvaluator(g, plat).Map(opt)
+}
+
+// Map assigns the bound graph's tasks onto the bound platform with
+// the selected heuristic.
+func (e *Evaluator) Map(opt Options) (*Assignment, error) {
+	g, plat := e.g, e.plat
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if len(plat.Cores) == 0 {
 		return nil, fmt.Errorf("mapping: platform has no cores")
 	}
-	for _, t := range g.Tasks {
-		if len(capable(g, plat, t)) == 0 {
+	for id, t := range g.Tasks {
+		if len(e.capab[id]) == 0 {
 			return nil, fmt.Errorf("mapping: no core can run task %q", t.Name)
 		}
 	}
@@ -174,21 +345,21 @@ func Map(g *taskgraph.Graph, plat *platform.Platform, opt Options) (*Assignment,
 	switch opt.Heuristic {
 	case List:
 		if opt.Objective == Throughput {
-			taskPE, err = throughputMap(g, plat)
+			taskPE, err = e.throughputMap()
 		} else {
-			taskPE, err = listMap(g, plat)
+			taskPE, err = e.listMap()
 		}
 	case Anneal:
-		taskPE, err = annealMap(g, plat, opt)
+		taskPE, err = e.annealMap(opt)
 	case Exhaustive:
-		taskPE, err = exhaustiveMap(g, plat, opt.Objective)
+		taskPE, err = e.exhaustiveMap(opt.Objective)
 	default:
 		return nil, fmt.Errorf("mapping: unknown heuristic %d", opt.Heuristic)
 	}
 	if err != nil {
 		return nil, err
 	}
-	mk, slots, err := evaluate(g, plat, taskPE)
+	mk, slots, err := e.schedule(taskPE, true)
 	if err != nil {
 		return nil, err
 	}
@@ -198,14 +369,15 @@ func Map(g *taskgraph.Graph, plat *platform.Platform, opt Options) (*Assignment,
 // listMap is HEFT-flavoured: rank tasks by upward rank (mean compute
 // plus mean communication to the exit), then greedily place each on
 // the core minimizing its earliest finish time.
-func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+func (e *Evaluator) listMap() ([]int, error) {
+	g, plat, v := e.g, e.plat, e.view
 	n := len(g.Tasks)
-	meanCycles := func(t *taskgraph.Task) float64 {
+	meanCycles := func(id int) float64 {
 		var sum float64
 		var cnt int
 		for _, c := range plat.Cores {
-			if t.CanRunOn(c.Class) {
-				sum += float64(t.CyclesOn(c.Class)) / float64(c.Hz()) * 1e12
+			if v.CanRunOn(id, c.Class) {
+				sum += float64(v.CyclesOn(id, c.Class)) / float64(c.Hz()) * 1e12
 				cnt++
 			}
 		}
@@ -215,17 +387,17 @@ func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 		return sum / float64(cnt)
 	}
 	rank := make([]float64, n)
-	order, _ := g.TopoOrder()
+	order, _ := v.TopoOrder()
 	for i := len(order) - 1; i >= 0; i-- {
 		id := order[i]
 		var best float64
-		for _, s := range g.Succs(id) {
-			comm := float64(plat.Fabric.EstLatency(0, len(plat.Cores)-1, g.InBytes(id, s)))
-			if r := rank[s] + comm; r > best {
+		for _, s := range v.Succs(id) {
+			comm := float64(plat.Fabric.EstLatency(0, len(plat.Cores)-1, s.Bytes))
+			if r := rank[s.Task] + comm; r > best {
 				best = r
 			}
 		}
-		rank[id] = meanCycles(g.Tasks[id]) + best
+		rank[id] = meanCycles(id) + best
 	}
 	ids := make([]int, n)
 	for i := range ids {
@@ -242,21 +414,23 @@ func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 	for i := range taskPE {
 		taskPE[i] = -1
 	}
-	peAvail := make([]sim.Time, len(plat.Cores))
-	finish := make([]sim.Time, n)
+	nPE := len(plat.Cores)
+	peAvail := e.peAvail
+	for i := range peAvail {
+		peAvail[i] = 0
+	}
+	finish := e.finish
 	for _, id := range ids {
-		t := g.Tasks[id]
 		bestPE, bestEFT := -1, sim.Forever
-		for _, pe := range capable(g, plat, t) {
-			core := plat.Core(pe)
+		for _, pe := range e.capab[id] {
 			ready := sim.Time(0)
-			for _, p := range g.Preds(id) {
-				if taskPE[p] < 0 {
+			for _, pr := range v.Preds(id) {
+				if taskPE[pr.Task] < 0 {
 					continue // predecessor not placed yet (rank order anomaly)
 				}
-				arr := finish[p]
-				if taskPE[p] != pe {
-					arr += plat.Fabric.EstLatency(taskPE[p], pe, g.InBytes(p, id))
+				arr := finish[pr.Task]
+				if taskPE[pr.Task] != pe {
+					arr += plat.Fabric.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
 				}
 				if arr > ready {
 					ready = arr
@@ -266,7 +440,7 @@ func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 			if peAvail[pe] > start {
 				start = peAvail[pe]
 			}
-			eft := start + core.Cycles(t.CyclesOn(core.Class))
+			eft := start + e.durs[id*nPE+pe]
 			if eft < bestEFT {
 				bestEFT = eft
 				bestPE = pe
@@ -283,33 +457,40 @@ func listMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 // per-core execution time): the pipeline's steady-state period is the
 // most-loaded core, so minimizing the maximum load maximizes
 // throughput.
-func throughputMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
+func (e *Evaluator) throughputMap() ([]int, error) {
+	g, plat := e.g, e.plat
 	n := len(g.Tasks)
+	nPE := len(plat.Cores)
 	ids := make([]int, n)
+	weights := make([]int64, n)
 	for i := range ids {
 		ids[i] = i
-	}
-	weight := func(id int) int64 {
+		// Fastest capable core's execution time. An explicit found
+		// flag, not a zero sentinel: a 0-cycle task must not fall
+		// through to a slower core's time.
 		var w int64
+		found := false
 		for _, c := range plat.Cores {
-			if g.Tasks[id].CanRunOn(c.Class) {
-				t := int64(plat.Cores[c.ID].Cycles(g.Tasks[id].CyclesOn(c.Class)))
-				if w == 0 || t < w {
+			if d := e.durs[i*nPE+c.ID]; d >= 0 {
+				if t := int64(d); !found || t < w {
 					w = t
+					found = true
 				}
 			}
 		}
-		return w
+		weights[i] = w
 	}
-	sort.SliceStable(ids, func(a, b int) bool { return weight(ids[a]) > weight(ids[b]) })
-	load := make([]sim.Time, len(plat.Cores))
+	sort.SliceStable(ids, func(a, b int) bool { return weights[ids[a]] > weights[ids[b]] })
+	load := e.load
+	for i := range load {
+		load[i] = 0
+	}
 	taskPE := make([]int, n)
 	for _, id := range ids {
 		bestPE := -1
 		var bestLoad sim.Time = sim.Forever
-		for _, pe := range capable(g, plat, g.Tasks[id]) {
-			core := plat.Core(pe)
-			l := load[pe] + core.Cycles(g.Tasks[id].CyclesOn(core.Class))
+		for _, pe := range e.capab[id] {
+			l := load[pe] + e.durs[id*nPE+pe]
 			if l < bestLoad {
 				bestLoad = l
 				bestPE = pe
@@ -321,39 +502,24 @@ func throughputMap(g *taskgraph.Graph, plat *platform.Platform) ([]int, error) {
 	return taskPE, nil
 }
 
-// objectiveCost scores an assignment under the selected objective:
-// static-schedule makespan, or the pipeline's steady-state period
-// (the most-loaded core) for throughput.
-func objectiveCost(g *taskgraph.Graph, plat *platform.Platform, objective Objective, assign []int) sim.Time {
-	if objective == Throughput {
-		load := make([]sim.Time, len(plat.Cores))
-		var worst sim.Time
-		for id, pe := range assign {
-			core := plat.Core(pe)
-			load[pe] += core.Cycles(g.Tasks[id].CyclesOn(core.Class))
-			if load[pe] > worst {
-				worst = load[pe]
-			}
-		}
-		return worst
-	}
-	mk, _, err := evaluate(g, plat, assign)
-	if err != nil {
-		return sim.Forever
-	}
-	return mk
-}
-
 // annealMap refines the list (or, for throughput, LPT) mapping with
-// simulated annealing over task moves, optimizing the selected
-// objective; deterministic under Options.Seed.
-func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int, error) {
+// simulated annealing over single-task moves, optimizing the selected
+// objective; deterministic under Options.Seed. Moves mutate the
+// current assignment in place and revert on reject; the throughput
+// objective's move cost is an incremental per-core load update, the
+// makespan objective recomputes the static schedule in scratch. Both
+// produce the exact cost values of a full recomputation, so the
+// accept/reject trajectory — and therefore the returned assignment —
+// is byte-identical to the copying implementation.
+func (e *Evaluator) annealMap(opt Options) ([]int, error) {
+	g := e.g
+	nPE := len(e.plat.Cores)
 	var cur []int
 	var err error
 	if opt.Objective == Throughput {
-		cur, err = throughputMap(g, plat)
+		cur, err = e.throughputMap()
 	} else {
-		cur, err = listMap(g, plat)
+		cur, err = e.listMap()
 	}
 	if err != nil {
 		return nil, err
@@ -363,25 +529,53 @@ func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int,
 		iters = 2000
 	}
 	rng := xrand.New(opt.Seed + 1)
-	cost := func(assign []int) sim.Time {
-		return objectiveCost(g, plat, opt.Objective, assign)
-	}
-	curCost := cost(cur)
+	curCost := e.objectiveCost(opt.Objective, cur)
 	best := append([]int{}, cur...)
 	bestCost := curCost
 	temp := float64(curCost)
+	// Throughput: e.load now holds cur's per-core loads (filled by
+	// objectiveCost above); maintain it incrementally across moves.
+	load := e.load
+	dur := func(id, pe int) sim.Time {
+		if d := e.durs[id*nPE+pe]; d >= 0 {
+			return d
+		}
+		return e.infCost[pe]
+	}
 	for i := 0; i < iters; i++ {
 		tIdx := rng.Intn(len(g.Tasks))
-		cands := capable(g, plat, g.Tasks[tIdx])
-		next := append([]int{}, cur...)
-		next[tIdx] = cands[rng.Intn(len(cands))]
-		nc := cost(next)
+		cands := e.capab[tIdx]
+		oldPE := cur[tIdx]
+		newPE := cands[rng.Intn(len(cands))]
+		cur[tIdx] = newPE
+		var nc sim.Time
+		if opt.Objective == Throughput {
+			load[oldPE] -= dur(tIdx, oldPE)
+			load[newPE] += dur(tIdx, newPE)
+			for _, l := range load {
+				if l > nc {
+					nc = l
+				}
+			}
+		} else {
+			mk, _, err := e.schedule(cur, false)
+			if err != nil {
+				mk = sim.Forever
+			}
+			nc = mk
+		}
 		dE := float64(nc - curCost)
 		if dE <= 0 || rng.Float64() < math.Exp(-dE/math.Max(temp, 1)) {
-			cur, curCost = next, nc
+			curCost = nc
 			if curCost < bestCost {
-				best = append([]int{}, cur...)
+				copy(best, cur)
 				bestCost = curCost
+			}
+		} else {
+			cur[tIdx] = oldPE
+			if opt.Objective == Throughput {
+				load[newPE] -= dur(tIdx, newPE)
+				load[oldPE] += dur(tIdx, oldPE)
 			}
 		}
 		temp *= 0.995
@@ -390,38 +584,79 @@ func annealMap(g *taskgraph.Graph, plat *platform.Platform, opt Options) ([]int,
 }
 
 // exhaustiveMap enumerates all feasible assignments under the
-// selected objective; guarded to small instances (the paper's
-// exploration loop for design studies).
-func exhaustiveMap(g *taskgraph.Graph, plat *platform.Platform, objective Objective) ([]int, error) {
+// selected objective with branch-and-bound: a prefix is cut when an
+// admissible lower bound — the larger of the most-loaded core so far
+// and the remaining work spread perfectly over all cores — already
+// meets the incumbent. Bounds never cut a strictly better leaf and
+// enumeration order is unchanged, so the returned assignment is the
+// plain enumeration's first-found argmin, byte for byte. Guarded to
+// small instances (the paper's exploration loop for design studies).
+func (e *Evaluator) exhaustiveMap(objective Objective) ([]int, error) {
+	g := e.g
 	n := len(g.Tasks)
-	cands := make([][]int, n)
+	nPE := len(e.plat.Cores)
 	space := 1
-	for i, t := range g.Tasks {
-		cands[i] = capable(g, plat, t)
-		space *= len(cands[i])
+	for id := range g.Tasks {
+		space *= len(e.capab[id])
 		if space > 500_000 {
 			return nil, fmt.Errorf("mapping: exhaustive search space too large (>500k); use list or anneal")
 		}
 	}
+	// minDur[i] is task i's fastest capable-core time; remMin[i] the
+	// total over tasks i..n-1 — the admissible remaining-work term.
+	minDur := make([]sim.Time, n)
+	for id := range g.Tasks {
+		m := sim.Forever
+		for _, pe := range e.capab[id] {
+			if d := e.durs[id*nPE+pe]; d < m {
+				m = d
+			}
+		}
+		minDur[id] = m
+	}
+	remMin := make([]sim.Time, n+1)
+	for id := n - 1; id >= 0; id-- {
+		remMin[id] = remMin[id+1] + minDur[id]
+	}
 	assign := make([]int, n)
 	best := make([]int, n)
 	bestCost := sim.Forever
-	var rec func(i int)
-	rec = func(i int) {
+	load := make([]sim.Time, nPE)
+	var loadSum sim.Time
+	var rec func(i int, maxLoad sim.Time)
+	rec = func(i int, maxLoad sim.Time) {
 		if i == n {
-			c := objectiveCost(g, plat, objective, assign)
+			c := e.objectiveCost(objective, assign)
 			if c < bestCost {
 				bestCost = c
 				copy(best, assign)
 			}
 			return
 		}
-		for _, pe := range cands[i] {
+		if bestCost < sim.Forever {
+			lb := maxLoad
+			if spread := (loadSum + remMin[i] + sim.Time(nPE) - 1) / sim.Time(nPE); spread > lb {
+				lb = spread
+			}
+			if lb >= bestCost {
+				return
+			}
+		}
+		for _, pe := range e.capab[i] {
 			assign[i] = pe
-			rec(i + 1)
+			d := e.durs[i*nPE+pe]
+			load[pe] += d
+			loadSum += d
+			ml := maxLoad
+			if load[pe] > ml {
+				ml = load[pe]
+			}
+			rec(i+1, ml)
+			load[pe] -= d
+			loadSum -= d
 		}
 	}
-	rec(0)
+	rec(0, 0)
 	if bestCost == sim.Forever {
 		return nil, fmt.Errorf("mapping: no feasible assignment")
 	}
@@ -517,6 +752,37 @@ func (s ExecStats) Utilization() []float64 {
 	return out
 }
 
+// Simulation resources are named per index ("pe3", "e17"); the names
+// only surface in diagnostics, so they come from a precomputed table
+// instead of a fmt.Sprintf per resource per run.
+var (
+	peNames   [64]string
+	edgeNames [256]string
+)
+
+func init() {
+	for i := range peNames {
+		peNames[i] = "pe" + strconv.Itoa(i)
+	}
+	for i := range edgeNames {
+		edgeNames[i] = "e" + strconv.Itoa(i)
+	}
+}
+
+func peName(i int) string {
+	if i < len(peNames) {
+		return peNames[i]
+	}
+	return "pe" + strconv.Itoa(i)
+}
+
+func edgeName(i int) string {
+	if i < len(edgeNames) {
+		return edgeNames[i]
+	}
+	return "e" + strconv.Itoa(i)
+}
+
 // Execute runs the assignment on the event-driven platform model with
 // genuine fabric contention (transfers share links) — the high-level
 // "virtual platform" simulation of section IV. It uses the platform's
@@ -528,14 +794,15 @@ func Execute(a *Assignment) (ExecStats, error) {
 		return ExecStats{}, fmt.Errorf("mapping: platform has no kernel")
 	}
 	g := a.Graph
+	v := g.View()
 	n := len(g.Tasks)
 	pending := make([]int, n) // unarrived inputs
-	for _, e := range g.Edges {
-		pending[e.To]++
+	for id := range pending {
+		pending[id] = len(v.InEdges(id))
 	}
 	peRes := make([]*sim.Resource, len(a.Platform.Cores))
 	for i := range peRes {
-		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
+		peRes[i] = k.NewResource(peName(i), 1)
 	}
 	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
 	busy := make([]sim.Time, len(a.Platform.Cores))
@@ -561,15 +828,12 @@ func Execute(a *Assignment) (ExecStats, error) {
 				makespan = p.Now()
 			}
 			done++
-			for _, e := range g.Edges {
-				if e.From != id {
-					continue
-				}
-				to := e.To
+			for _, oe := range v.OutEdges(id) {
+				to := oe.Task
 				if a.TaskPE[to] == pe {
 					k.Schedule(0, func() { deliver(to) })
 				} else {
-					a.Platform.Fabric.Transfer(pe, a.TaskPE[to], e.Bytes, func() {
+					a.Platform.Fabric.Transfer(pe, a.TaskPE[to], oe.Bytes, func() {
 						if k.Now() > makespan {
 							makespan = k.Now()
 						}
@@ -611,14 +875,14 @@ func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 		return ExecStats{}, fmt.Errorf("mapping: platform has no kernel")
 	}
 	g := a.Graph
-	queues := map[int]*sim.Queue{} // edge index -> token queue
-	for i, e := range g.Edges {
-		_ = e
-		queues[i] = k.NewQueue(fmt.Sprintf("e%d", i), 2)
+	v := g.View()
+	queues := make([]*sim.Queue, len(g.Edges)) // edge index -> token queue
+	for i := range g.Edges {
+		queues[i] = k.NewQueue(edgeName(i), 2)
 	}
 	peRes := make([]*sim.Resource, len(a.Platform.Cores))
 	for i := range peRes {
-		peRes[i] = k.NewResource(fmt.Sprintf("pe%d", i), 1)
+		peRes[i] = k.NewResource(peName(i), 1)
 	}
 	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
 	busy := make([]sim.Time, len(a.Platform.Cores))
@@ -626,36 +890,27 @@ func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 	finished := 0
 	for id := range g.Tasks {
 		id := id
-		var inEdges, outEdges []int
-		for i, e := range g.Edges {
-			if e.To == id {
-				inEdges = append(inEdges, i)
-			}
-			if e.From == id {
-				outEdges = append(outEdges, i)
-			}
-		}
+		inEdges, outEdges := v.InEdges(id), v.OutEdges(id)
 		pe := a.TaskPE[id]
 		core := a.Platform.Core(pe)
 		cycles := g.Tasks[id].CyclesOn(core.Class)
 		k.Spawn(g.Tasks[id].Name, func(p *sim.Proc) {
 			for it := 0; it < iterations; it++ {
-				for _, ei := range inEdges {
-					queues[ei].Get(p)
+				for _, ie := range inEdges {
+					queues[ie.Edge].Get(p)
 				}
 				peRes[pe].Acquire(p)
 				dur := core.Cycles(cycles)
 				p.Delay(dur)
 				peRes[pe].Release()
 				busy[pe] += dur
-				for _, ei := range outEdges {
-					e := g.Edges[ei]
-					if a.TaskPE[e.To] != pe {
+				for _, oe := range outEdges {
+					if a.TaskPE[oe.Task] != pe {
 						done := k.NewSignal()
-						a.Platform.Fabric.Transfer(pe, a.TaskPE[e.To], e.Bytes, func() { done.Broadcast() })
+						a.Platform.Fabric.Transfer(pe, a.TaskPE[oe.Task], oe.Bytes, func() { done.Broadcast() })
 						done.Wait(p)
 					}
-					queues[ei].Put(p, it)
+					queues[oe.Edge].Put(p, it)
 				}
 				if p.Now() > makespan {
 					makespan = p.Now()

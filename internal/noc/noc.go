@@ -38,6 +38,11 @@ type Mesh struct {
 	// contention stalls across all transfers.
 	Transfers uint64
 	TotalWait sim.Time
+
+	// routeBuf is reused by route so per-transfer routing does not
+	// allocate. Model code runs single-threaded on the kernel, and
+	// Transfer consumes the route before returning.
+	routeBuf []int
 }
 
 // NewMesh returns a w×h mesh attached to kernel k with the given hop
@@ -80,11 +85,12 @@ const (
 )
 
 // route returns the link indices a packet traverses from src to dst
-// under XY routing (X first, then Y).
+// under XY routing (X first, then Y). The slice is the mesh's reused
+// buffer — valid until the next route call.
 func (m *Mesh) route(src, dst int) []int {
 	sx, sy := m.nodeOf(src)
 	dx, dy := m.nodeOf(dst)
-	var links []int
+	links := m.routeBuf[:0]
 	x, y := sx, sy
 	for x != dx {
 		dir := dirE
@@ -110,6 +116,7 @@ func (m *Mesh) route(src, dst int) []int {
 			y++
 		}
 	}
+	m.routeBuf = links
 	return links
 }
 

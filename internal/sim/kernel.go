@@ -259,6 +259,29 @@ func (k *Kernel) RunFor(d Time) uint64 {
 	return k.RunUntil(k.now + d)
 }
 
+// Reset returns the kernel to its initial state — empty event queue,
+// time zero, sequence zero, zero Executed — while keeping the pooled
+// event records, so a reset kernel behaves exactly like a freshly
+// constructed one but re-runs without re-warming the pool. Pending
+// events are cancelled (their records recycled, outstanding handles
+// invalidated by the generation bump). Reset panics if live processes
+// remain: their goroutines are parked inside model code and cannot be
+// reclaimed, so such a kernel must be discarded instead.
+func (k *Kernel) Reset() {
+	if k.procs != 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live processes", k.procs))
+	}
+	for i, e := range k.queue {
+		k.queue[i] = nil
+		k.recycle(e)
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.stopped = false
+	k.Executed = 0
+}
+
 // Stop halts the run loop after the current event handler returns.
 func (k *Kernel) Stop() { k.stopped = true }
 

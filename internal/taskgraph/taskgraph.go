@@ -76,11 +76,17 @@ type Edge struct {
 	Label    string
 }
 
-// Graph is a task DAG.
+// Graph is a task DAG. Mutate it only through AddTask and Connect:
+// both invalidate the cached View, direct writes to Tasks/Edges do
+// not.
 type Graph struct {
 	Name  string
 	Tasks []*Task
 	Edges []Edge
+
+	// version counts structural mutations; View caches against it.
+	version uint64
+	view    *View
 }
 
 // NewGraph returns an empty task graph.
@@ -90,12 +96,14 @@ func NewGraph(name string) *Graph { return &Graph{Name: name} }
 func (g *Graph) AddTask(t *Task) *Task {
 	t.ID = len(g.Tasks)
 	g.Tasks = append(g.Tasks, t)
+	g.version++
 	return t
 }
 
 // Connect adds a dependence edge.
 func (g *Graph) Connect(from, to *Task, bytes int, label string) {
 	g.Edges = append(g.Edges, Edge{From: from.ID, To: to.ID, Bytes: bytes, Label: label})
+	g.version++
 }
 
 // Preds returns the predecessor task IDs of id, in edge order.
@@ -156,35 +164,15 @@ func (g *Graph) Validate() error {
 }
 
 // TopoOrder returns a deterministic topological order (Kahn with
-// smallest-ID tie-break) or an error when the graph has a cycle.
+// smallest-ID tie-break) or an error when the graph has a cycle. The
+// order is memoized on the cached View; the returned slice is a copy
+// the caller may keep.
 func (g *Graph) TopoOrder() ([]int, error) {
-	indeg := make([]int, len(g.Tasks))
-	for _, e := range g.Edges {
-		indeg[e.To]++
+	order, err := g.View().TopoOrder()
+	if err != nil {
+		return nil, err
 	}
-	var ready []int
-	for i, d := range indeg {
-		if d == 0 {
-			ready = append(ready, i)
-		}
-	}
-	var order []int
-	for len(ready) > 0 {
-		sort.Ints(ready)
-		n := ready[0]
-		ready = ready[1:]
-		order = append(order, n)
-		for _, s := range g.Succs(n) {
-			indeg[s]--
-			if indeg[s] == 0 {
-				ready = append(ready, s)
-			}
-		}
-	}
-	if len(order) != len(g.Tasks) {
-		return nil, fmt.Errorf("taskgraph: %q contains a cycle", g.Name)
-	}
-	return order, nil
+	return append([]int(nil), order...), nil
 }
 
 // TotalCycles sums the WCETs of all tasks on the given class.
@@ -199,7 +187,8 @@ func (g *Graph) TotalCycles(class platform.PEClass) int64 {
 // CriticalPathCycles returns the longest compute path (ignoring
 // communication) on the given class — the parallel-speedup bound.
 func (g *Graph) CriticalPathCycles(class platform.PEClass) int64 {
-	order, err := g.TopoOrder()
+	v := g.View()
+	order, err := v.TopoOrder()
 	if err != nil {
 		return g.TotalCycles(class)
 	}
@@ -207,9 +196,9 @@ func (g *Graph) CriticalPathCycles(class platform.PEClass) int64 {
 	var best int64
 	for _, id := range order {
 		var start int64
-		for _, p := range g.Preds(id) {
-			if finish[p] > start {
-				start = finish[p]
+		for _, p := range v.Preds(id) {
+			if finish[p.Task] > start {
+				start = finish[p.Task]
 			}
 		}
 		finish[id] = start + g.Tasks[id].CyclesOn(class)

@@ -136,6 +136,9 @@ func New(k *sim.Kernel, cfg Config) *VP {
 		v.Locals = append(v.Locals, local)
 		bus := &coreBus{vp: v, core: i}
 		cpu := iss.New(i, bus, cfg.Timing)
+		// Local-store fetches carry no hooks or trace (see
+		// coreBus.Load), so the CPU may read them directly.
+		cpu.LocalFetch = local
 		cpu.OnEcall = v.ecall
 		v.CPUs = append(v.CPUs, cpu)
 		v.Console = append(v.Console, nil)
