@@ -13,6 +13,12 @@
 //
 //	dse -sweep 'plat=homog8,wireless;fab=mesh,bus;wl=jpeg,h264;heur=list,anneal;fid=mvp,vp64'
 //
+// The plat dimension also accepts custom heterogeneous core mixes and
+// the wl dimension concurrent multi-application scenarios (full
+// grammar in the internal/dse package docs):
+//
+//	dse -sweep 'plat=2xrisc+4xdsp+1xvliw,8xrisc@600;wl=multi:jpeg+carradio+synth8,jpeg'
+//
 // Results stream to -out as JSONL — a provenance header line followed
 // by one result per line, in point order — so a sweep is
 // byte-reproducible for a given -seed and can resume from a partial

@@ -2,11 +2,13 @@ package dse
 
 import (
 	"fmt"
+	"strings"
 
 	"mpsockit/internal/isa"
 	"mpsockit/internal/mapping"
 	"mpsockit/internal/sim"
 	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/workload"
 )
 
 // EvalContext is a per-worker evaluation context: it owns the reused
@@ -36,6 +38,12 @@ type EvalContext struct {
 	// prototype, so the graph and its adjacency view are built once
 	// per worker instead of once per point.
 	graphs map[graphKey]*taskgraph.Graph
+	// multis caches multi-app scenarios (union graph, spans,
+	// worst-case load) by their full identity — workload token,
+	// scenario seed and every constituent's instance seed (multiKey) —
+	// so hand-built points that share a token but not app seeds can
+	// never alias.
+	multis map[string]*multiEntry
 	// progs caches assembled vp calibration loops by iteration count.
 	progs map[int64]*isa.Program
 }
@@ -46,11 +54,22 @@ type graphKey struct {
 	seed uint64
 }
 
+// multiEntry is one cached multi-app scenario: the union task graph
+// of all constituent applications (immutable, view materialized), the
+// per-application task-ID spans inside it, and the concurrency
+// analysis's worst-case load.
+type multiEntry struct {
+	graph     *taskgraph.Graph
+	spans     []taskgraph.Span
+	worstLoad float64
+}
+
 // NewEvalContext returns an empty context; kernels and caches
 // materialize on first use.
 func NewEvalContext() *EvalContext {
 	return &EvalContext{
 		graphs: map[graphKey]*taskgraph.Graph{},
+		multis: map[string]*multiEntry{},
 		progs:  map[int64]*isa.Program{},
 	}
 }
@@ -82,6 +101,49 @@ func (c *EvalContext) graph(p Point) (*taskgraph.Graph, error) {
 	g.View()
 	c.graphs[key] = g
 	return g, nil
+}
+
+// multiKey is a multi-app scenario's full cache identity: the token,
+// the scenario seed, and each constituent's (kind, N, seed).
+func multiKey(p Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d", p.Workload, p.WorkloadSeed)
+	for _, a := range p.Apps {
+		fmt.Fprintf(&b, "|%s/%d/%d", a.Kind, a.N, a.Seed)
+	}
+	return b.String()
+}
+
+// multiScenario returns the point's cached multi-app scenario,
+// building it on first sight: per-app graphs come from the prototype
+// cache (shared with single-workload points of the same instance),
+// the concurrency graph marks all apps concurrent, and the union
+// graph of the scenario is composed and its view materialized once.
+func (c *EvalContext) multiScenario(p Point) (*multiEntry, error) {
+	key := multiKey(p)
+	if mu, ok := c.multis[key]; ok {
+		return mu, nil
+	}
+	apps := make([]workload.AppSpec, len(p.Apps))
+	graphs := make([]*taskgraph.Graph, len(p.Apps))
+	for i, a := range p.Apps {
+		apps[i] = workload.AppSpec{Kind: a.Kind, N: a.N, Seed: a.Seed}
+		g, err := c.graph(Point{Workload: a.Kind, N: a.N, WorkloadSeed: a.Seed})
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	cg, err := workload.MultiScenario(apps, graphs)
+	if err != nil {
+		return nil, err
+	}
+	worst, _, _ := workload.WorstLoad(cg)
+	union, spans := taskgraph.Union(p.Workload, graphs...)
+	union.View()
+	mu := &multiEntry{graph: union, spans: spans, worstLoad: worst}
+	c.multis[key] = mu
+	return mu, nil
 }
 
 // cyclesPerIter is the vp calibration loop body cost: addi(1) +

@@ -41,6 +41,42 @@
 // indicator against a deterministic per-group reference point, so
 // sweeps (full versus heuristic-restricted, merged versus unsharded)
 // compare by a number rather than by front membership counts.
+//
+// # Sweep grammar
+//
+// ParseSweep accepts a preset name ("smoke", "default") or a
+// ';'-separated dimension list. In EBNF:
+//
+//	spec     = preset | dims ;
+//	preset   = "smoke" | "default" ;
+//	dims     = dim , { ";" , dim } ;
+//	dim      = key , "=" , value , { "," , value } ;
+//	key      = "plat" | "fab" | "dvfs" | "wl" | "heur" | "fid" ;
+//
+//	plat     = "homog" int | "mpcore" int | "celllike" int
+//	         | "wireless" | mix ;
+//	mix      = group , { "+" , group } ;
+//	group    = int , "x" , class , [ "@" , int (* MHz *) ] ;
+//	class    = "risc" | "dsp" | "vliw" | "acc" | "ctrl" ;
+//
+//	fab      = "mesh" | "bus" ;
+//	dvfs     = int (* operating-point index, 0 = lowest *) ;
+//
+//	wl       = app | "jobs" int | "multi:" , app , { "+" , app } ;
+//	app      = "jpeg" | "h264" | "carradio" | "synth" int ;
+//
+//	heur     = "list" | "anneal" | "exhaustive" ;
+//	fid      = "mvp" | "pipe" int | "vp" int ;
+//
+// A mix platform token ("2xrisc+4xdsp@3200") builds the listed core
+// groups in order at class-default clocks and memories unless "@MHz"
+// overrides the clock; a multi workload token
+// ("multi:jpeg+carradio+synth8") evaluates the listed applications as
+// one concurrent usage scenario — the union of their task graphs is
+// mapped and executed with every application active at once, and the
+// concurrency analysis reports the scenario's worst-case load.
+// Sweep.Spec renders any sweep back to this grammar canonically;
+// parse→render→parse is the identity on expanded points.
 package dse
 
 import (
@@ -48,16 +84,21 @@ import (
 	"strconv"
 	"sync"
 
+	"mpsockit/internal/platform"
 	"mpsockit/internal/sim"
 )
 
 // PlatSpec names one platform configuration of the sweep.
 type PlatSpec struct {
-	// Kind is homog, mpcore, celllike or wireless.
+	// Kind is homog, mpcore, celllike, wireless or custom (an
+	// arbitrary core mix).
 	Kind string `json:"kind"`
 	// Cores is the core count for homog/mpcore and the DSP (SPE)
-	// count for celllike; wireless is fixed at 6.
+	// count for celllike; wireless is fixed at 6, custom sums Mix.
 	Cores int `json:"cores,omitempty"`
+	// Mix is the parsed core-mix spec of a custom platform
+	// ("2xrisc+4xdsp"), empty for the named kinds.
+	Mix []platform.MixGroup `json:"mix,omitempty"`
 	// Fabric is mesh or bus.
 	Fabric string `json:"fabric"`
 	// DVFS is the frequency level index applied to every core before
@@ -72,19 +113,45 @@ func (s PlatSpec) CoreCount() int {
 		return 6
 	case "celllike":
 		return s.Cores + 1
+	case "custom":
+		return platform.MixCoreCount(s.Mix)
 	default:
 		return s.Cores
+	}
+}
+
+// Token renders the spec's platform-dimension token — the value that
+// parses back to this spec via the plat= grammar ("homog8",
+// "wireless", "2xrisc+4xdsp").
+func (s PlatSpec) Token() string {
+	switch s.Kind {
+	case "wireless":
+		return "wireless"
+	case "custom":
+		return platform.FormatMix(s.Mix)
+	default:
+		return s.Kind + strconv.Itoa(s.Cores)
 	}
 }
 
 // String renders the spec as the compact "kind/fabric/dN" token used
 // in tables and logs.
 func (s PlatSpec) String() string {
-	name := s.Kind
-	if s.Kind != "wireless" {
-		name += strconv.Itoa(s.Cores)
-	}
-	return name + "/" + s.Fabric + "/d" + strconv.Itoa(s.DVFS)
+	return s.Token() + "/" + s.Fabric + "/d" + strconv.Itoa(s.DVFS)
+}
+
+// AppRef names one application of a multi-app design point: the
+// workload kind, its size, and the seed generating its instance. The
+// seed is derived exactly as for the corresponding single-workload
+// token, so a multi point's constituents are the same instances the
+// single points evaluate.
+type AppRef struct {
+	// Kind is a task-graph workload: jpeg, h264, carradio or synth.
+	Kind string `json:"kind"`
+	// N sizes parameterized workloads (synth task count).
+	N int `json:"n,omitempty"`
+	// Seed generates the app's workload instance.
+	Seed uint64 `json:"seed"`
 }
 
 // Point is one design point: everything needed to evaluate it,
@@ -94,7 +161,8 @@ type Point struct {
 	// Seed drives the point's mapping heuristic (annealing moves).
 	Seed uint64   `json:"seed"`
 	Plat PlatSpec `json:"plat"`
-	// Workload is jpeg, h264, carradio, synth or jobs.
+	// Workload is jpeg, h264, carradio, synth, jobs, or a multi:a+b
+	// token naming a multi-application scenario.
 	Workload string `json:"wl"`
 	// N sizes parameterized workloads: task count for synth, job
 	// count for jobs.
@@ -103,6 +171,9 @@ type Point struct {
 	// point of the sweep that uses the same workload, so heuristics
 	// and platforms are compared on identical inputs.
 	WorkloadSeed uint64 `json:"wl_seed"`
+	// Apps lists the constituent applications of a multi workload, in
+	// token order; empty for single workloads.
+	Apps []AppRef `json:"apps,omitempty"`
 	// Heuristic is list, anneal or exhaustive ("-" for jobs, which
 	// the RTOS schedules online).
 	Heuristic string `json:"heur"`
@@ -143,6 +214,15 @@ type Metrics struct {
 	VPInstr uint64 `json:"vp_instr,omitempty"`
 	// MissRate is the deadline miss fraction (jobs workload only).
 	MissRate float64 `json:"miss_rate,omitempty"`
+	// WorstLoadCPS is the worst-case concurrent compute demand in
+	// cycles per second over the scenario's maximal concurrency
+	// cliques (multi workloads with two or more apps only).
+	WorstLoadCPS float64 `json:"worst_load_cps,omitempty"`
+	// AppMakespanPS gives each constituent application's own makespan
+	// under concurrent execution, in Apps order (multi workloads at
+	// the task-level mvp fidelity only — a vp-refined headline
+	// makespan has no consistent task-level split).
+	AppMakespanPS []int64 `json:"app_makespan_ps,omitempty"`
 }
 
 // Result pairs a point with its metrics; Err records evaluation

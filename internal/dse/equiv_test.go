@@ -1,0 +1,207 @@
+package dse
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mpsockit/internal/sim"
+)
+
+// TestMultiSingleAppEquivalence: a multi: point with one app must be
+// byte-identical in metrics to the corresponding single-workload
+// point — the scenario of one application IS that application, so the
+// multi path must not perturb a single event of its evaluation.
+func TestMultiSingleAppEquivalence(t *testing.T) {
+	plats := []PlatSpec{
+		{Kind: "homog", Cores: 4, Fabric: "mesh", DVFS: 1},
+		{Kind: "wireless", Fabric: "bus", DVFS: 2},
+	}
+	type wl struct {
+		kind string
+		n    int
+	}
+	cases := []struct {
+		wl   wl
+		heur string
+		fid  FidelitySpec
+	}{
+		{wl{"jpeg", 0}, "list", FidelitySpec{Kind: "mvp"}},
+		{wl{"carradio", 0}, "anneal", FidelitySpec{Kind: "mvp"}},
+		{wl{"synth", 8}, "list", FidelitySpec{Kind: "pipe", Iterations: 4}},
+		{wl{"h264", 0}, "anneal", FidelitySpec{Kind: "vp", Quantum: 16}},
+	}
+	for _, plat := range plats {
+		for _, tc := range cases {
+			single := Point{
+				ID: 1, Seed: 12345, Plat: plat,
+				Workload: tc.wl.kind, N: tc.wl.n, WorkloadSeed: 777,
+				Heuristic: tc.heur,
+				Fidelity:  tc.fid.Kind, Iterations: tc.fid.Iterations, Quantum: tc.fid.Quantum,
+			}
+			multi := single
+			multi.Workload = "multi:" + (WorkloadSpec{Kind: tc.wl.kind, N: tc.wl.n}).String()
+			multi.N = 0
+			multi.WorkloadSeed = 999 // scenario seed; the app carries the instance seed
+			multi.Apps = []AppRef{{Kind: tc.wl.kind, N: tc.wl.n, Seed: 777}}
+
+			rs := Evaluate(single)
+			rm := Evaluate(multi)
+			if rs.Err != "" || rm.Err != "" {
+				t.Fatalf("%v %s %s: errs %q / %q", plat, single.Workload, tc.heur, rs.Err, rm.Err)
+			}
+			sb, _ := json.Marshal(rs.Metrics)
+			mb, _ := json.Marshal(rm.Metrics)
+			if string(sb) != string(mb) {
+				t.Errorf("%v %s/%s/%s: single-app multi diverges\nsingle: %s\nmulti:  %s",
+					plat, single.Workload, tc.heur, tc.fid, sb, mb)
+			}
+		}
+	}
+}
+
+// TestCustomMixReproducesPresets: a custom plat= token spelling out a
+// named preset's core mix must produce identical execution behavior —
+// every ExecStats-derived metric matches; only the area proxy may
+// differ (mix defaults assign class-default local memories, which the
+// mpcore and celllike presets size differently).
+func TestCustomMixReproducesPresets(t *testing.T) {
+	pairs := []struct {
+		named, mix string
+	}{
+		{"homog8", "8xrisc"},
+		{"mpcore4", "4xrisc@600"},
+		{"celllike4", "1xctrl+4xdsp@3200"},
+		{"wireless", "2xrisc@400+2xdsp+1xvliw+1xacc"},
+	}
+	for _, pair := range pairs {
+		named, err := parsePlat(pair.named)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := parsePlat(pair.mix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if named.CoreCount() != mix.CoreCount() {
+			t.Fatalf("%s: %d cores vs %s: %d", pair.named, named.CoreCount(), pair.mix, mix.CoreCount())
+		}
+		for _, fab := range []string{"mesh", "bus"} {
+			for _, wl := range []string{"jpeg", "carradio"} {
+				for _, heur := range []string{"list", "anneal"} {
+					a := Point{ID: 3, Seed: 99, Workload: wl, Heuristic: heur, Fidelity: "mvp"}
+					a.Plat = named
+					a.Plat.Fabric = fab
+					a.Plat.DVFS = 1
+					b := a
+					b.Plat = mix
+					b.Plat.Fabric = fab
+					b.Plat.DVFS = 1
+					ra, rb := Evaluate(a), Evaluate(b)
+					if ra.Err != "" || rb.Err != "" {
+						t.Fatalf("%s/%s/%s/%s: errs %q / %q", pair.named, fab, wl, heur, ra.Err, rb.Err)
+					}
+					ma, mb := ra.Metrics, rb.Metrics
+					ma.Area, mb.Area = 0, 0
+					ja, _ := json.Marshal(ma)
+					jb, _ := json.Marshal(mb)
+					if string(ja) != string(jb) {
+						t.Errorf("%s vs %s (%s %s %s): ExecStats diverge\nnamed: %s\nmix:   %s",
+							pair.named, pair.mix, fab, wl, heur, ja, jb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiScenarioCacheIdentity: a reused context must never serve a
+// cached scenario to a point whose constituent app seeds differ, even
+// when the workload token and scenario seed collide — reused-context
+// evaluation stays byte-identical to fresh-context evaluation.
+func TestMultiScenarioCacheIdentity(t *testing.T) {
+	base := Point{
+		ID: 1, Seed: 8, Plat: PlatSpec{Kind: "homog", Cores: 4, Fabric: "mesh", DVFS: 1},
+		Workload: "multi:synth8+synth8", WorkloadSeed: 55,
+		Heuristic: "list", Fidelity: "mvp",
+	}
+	a := base
+	a.Apps = []AppRef{{Kind: "synth", N: 8, Seed: 100}, {Kind: "synth", N: 8, Seed: 200}}
+	b := base
+	b.Apps = []AppRef{{Kind: "synth", N: 8, Seed: 300}, {Kind: "synth", N: 8, Seed: 400}}
+	ctx := NewEvalContext()
+	for _, p := range []Point{a, b} {
+		reused := ctx.Evaluate(p)
+		fresh := Evaluate(p)
+		if reused.Err != "" || fresh.Err != "" {
+			t.Fatalf("errs %q / %q", reused.Err, fresh.Err)
+		}
+		rb, _ := json.Marshal(reused.Metrics)
+		fb, _ := json.Marshal(fresh.Metrics)
+		if string(rb) != string(fb) {
+			t.Fatalf("reused context diverged from fresh for apps %v:\nreused: %s\nfresh:  %s", p.Apps, rb, fb)
+		}
+	}
+}
+
+// TestMultiExecutePerAppMakespans: per-app makespans of a concurrent
+// scenario bound the aggregate makespan, and the slowest app defines
+// it.
+func TestMultiExecutePerAppMakespans(t *testing.T) {
+	p := Point{
+		ID: 5, Seed: 31, Plat: PlatSpec{Kind: "wireless", Fabric: "mesh", DVFS: 1},
+		Workload: "multi:jpeg+carradio+synth8", WorkloadSeed: 4,
+		Apps: []AppRef{
+			{Kind: "jpeg", Seed: 11}, {Kind: "carradio", Seed: 12}, {Kind: "synth", N: 8, Seed: 13},
+		},
+		Heuristic: "list", Fidelity: "mvp",
+	}
+	r := Evaluate(p)
+	if r.Err != "" {
+		t.Fatal(r.Err)
+	}
+	m := r.Metrics
+	if len(m.AppMakespanPS) != 3 {
+		t.Fatalf("got %d app makespans", len(m.AppMakespanPS))
+	}
+	var worst int64
+	for i, mk := range m.AppMakespanPS {
+		if mk <= 0 {
+			t.Fatalf("app %d has makespan %d", i, mk)
+		}
+		if mk > worst {
+			worst = mk
+		}
+	}
+	if sim.Time(worst) != m.Makespan {
+		t.Fatalf("slowest app %d != scenario makespan %v", worst, m.Makespan)
+	}
+	if m.WorstLoadCPS <= 0 || m.WorstLoadCPS > 1e12 {
+		t.Fatalf("implausible worst-case load %g", m.WorstLoadCPS)
+	}
+	// The concurrent scenario cannot be faster than its slowest
+	// constituent run alone on the same platform.
+	alone := Evaluate(Point{
+		ID: 6, Seed: 31, Plat: p.Plat,
+		Workload: "jpeg", WorkloadSeed: 11, Heuristic: "list", Fidelity: "mvp",
+	})
+	if alone.Err != "" {
+		t.Fatal(alone.Err)
+	}
+	if m.Makespan < alone.Metrics.Makespan {
+		t.Fatalf("concurrent scenario (%v) beat jpeg alone (%v)", m.Makespan, alone.Metrics.Makespan)
+	}
+	// At vp fidelity the headline makespan is ISS-refined; task-level
+	// per-app makespans would contradict it and must not be emitted.
+	vp := p
+	vp.Fidelity, vp.Quantum = "vp", 16
+	rvp := Evaluate(vp)
+	if rvp.Err != "" {
+		t.Fatal(rvp.Err)
+	}
+	if len(rvp.Metrics.AppMakespanPS) != 0 {
+		t.Fatalf("vp multi point emitted task-level app makespans %v", rvp.Metrics.AppMakespanPS)
+	}
+	if rvp.Metrics.WorstLoadCPS != m.WorstLoadCPS {
+		t.Fatalf("worst-case load depends on fidelity: %g vs %g", rvp.Metrics.WorstLoadCPS, m.WorstLoadCPS)
+	}
+}

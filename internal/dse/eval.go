@@ -48,6 +48,13 @@ func (c *EvalContext) Evaluate(p Point) Result {
 }
 
 func (c *EvalContext) evaluate(p Point) (Metrics, error) {
+	if len(p.Apps) == 1 {
+		// A multi scenario of one application is that application:
+		// normalize before evaluation, so the point is byte-identical
+		// in metrics to the corresponding single-workload point.
+		a := p.Apps[0]
+		p.Workload, p.N, p.WorkloadSeed, p.Apps = a.Kind, a.N, a.Seed, nil
+	}
 	k := reuseKernel(&c.k)
 	plat, area, err := buildPlatform(k, p.Plat)
 	if err != nil {
@@ -56,9 +63,26 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 	if p.Workload == "jobs" {
 		return evalJobs(p, k, plat, area)
 	}
-	g, err := c.graph(p)
-	if err != nil {
-		return Metrics{}, err
+	// Single and multi-app points share one evaluation body: a multi
+	// point maps and executes the cached union graph of its scenario
+	// (spans non-nil) where a single point uses its workload graph
+	// directly; everything else — heuristics, fidelities, metrics,
+	// vp refinement — is identical by construction.
+	var g *taskgraph.Graph
+	var spans []taskgraph.Span
+	var worstLoad float64
+	if len(p.Apps) > 1 {
+		mu, err := c.multiScenario(p)
+		if err != nil {
+			return Metrics{}, err
+		}
+		g, spans, worstLoad = mu.graph, mu.spans, mu.worstLoad
+	} else {
+		var err error
+		g, err = c.graph(p)
+		if err != nil {
+			return Metrics{}, err
+		}
 	}
 	heur, err := mapping.ParseHeuristic(p.Heuristic)
 	if err != nil {
@@ -81,9 +105,14 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 		return Metrics{}, err
 	}
 	var stats mapping.ExecStats
+	var appMk []sim.Time
 	switch p.Fidelity {
 	case "mvp", "vp":
-		stats, err = mapping.Execute(a)
+		if spans != nil {
+			stats, appMk, err = mapping.ExecuteMulti(a, spans)
+		} else {
+			stats, err = mapping.Execute(a)
+		}
 	case "pipe":
 		stats, err = mapping.ExecutePipelined(a, units)
 	default:
@@ -94,6 +123,17 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 	}
 	m := metricsFrom(plat, stats, area, units)
 	m.SimEvents = k.Executed
+	if spans != nil {
+		m.WorstLoadCPS = worstLoad
+		// Per-app makespans are task-level measurements; at vp
+		// fidelity the headline makespan is ISS-refined below and the
+		// task-level split would contradict it, so it is not emitted.
+		if p.Fidelity == "mvp" {
+			for _, mk := range appMk {
+				m.AppMakespanPS = append(m.AppMakespanPS, int64(mk))
+			}
+		}
+	}
 	if p.Fidelity == "vp" {
 		makespan, events, instr, err := c.vpRefine(p, stats)
 		if err != nil {
@@ -137,6 +177,8 @@ func buildPlatform(k *sim.Kernel, spec PlatSpec) (*platform.Platform, float64, e
 		plat = platform.NewCellLike(k, spec.Cores, fabric)
 	case "wireless":
 		plat = platform.NewWirelessTerminal(k, fabric)
+	case "custom":
+		plat = platform.NewMix(k, spec.Mix, fabric)
 	default:
 		return nil, 0, fmt.Errorf("dse: unknown platform kind %q", spec.Kind)
 	}
@@ -162,23 +204,11 @@ func buildPlatform(k *sim.Kernel, spec PlatSpec) (*platform.Platform, float64, e
 	return plat, area, nil
 }
 
-// buildGraph returns the point's workload task graph.
+// buildGraph returns the point's workload task graph; dispatch lives
+// in internal/workload so multi-app scenarios compose the exact
+// instances single points evaluate.
 func buildGraph(p Point) (*taskgraph.Graph, error) {
-	switch p.Workload {
-	case "jpeg":
-		return workload.JPEGTaskGraph(), nil
-	case "h264":
-		return workload.H264TaskGraph(), nil
-	case "carradio":
-		return workload.CarRadioTaskGraph(), nil
-	case "synth":
-		n := p.N
-		if n <= 0 {
-			n = 16
-		}
-		return workload.SyntheticTaskGraph(n, p.WorkloadSeed), nil
-	}
-	return nil, fmt.Errorf("dse: unknown workload %q", p.Workload)
+	return workload.AppTaskGraph(p.Workload, p.N, p.WorkloadSeed)
 }
 
 // coreEnergy is the per-core energy proxy over one run: dynamic power

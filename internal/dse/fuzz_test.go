@@ -1,0 +1,147 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Fuzz targets for the sweep-spec grammars. Two invariants: no input
+// panics a parser (a sweep spec arrives from the command line and
+// from shard-file headers, so a crash is a DoS on a merge fleet), and
+// accepted input round-trips — parse, render canonically, re-parse —
+// to the same parsed form, which is what lets shard headers re-expand
+// the spec on any host. CI runs each target briefly
+// (`go test -fuzz … -fuzztime 10s`); the committed corpora under
+// testdata/fuzz seed the interesting grammar corners.
+
+// maxFuzzPoints bounds cross-product expansion inside fuzz targets: a
+// handful of long dimension lists multiply into millions of points,
+// which is legal but turns a fuzz iteration into an allocation storm.
+const maxFuzzPoints = 1 << 14
+
+// expansionBound overapproximates the point count of a sweep without
+// expanding it.
+func expansionBound(s *Sweep) int {
+	dims := [...]int{
+		len(s.Platforms), max1(len(s.Fabrics)), max1(len(s.DVFS)),
+		len(s.Workloads), max1(len(s.Heuristics)), max1(len(s.Fidelities)),
+	}
+	bound := 1
+	for _, d := range dims {
+		bound *= d
+		if bound > maxFuzzPoints {
+			return bound
+		}
+	}
+	return bound
+}
+
+// max1 floors a dimension length at its defaulted size.
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// FuzzParseSweep holds the full-spec round trip: any accepted spec
+// renders to a canonical form that re-parses to the same expanded
+// point list (seeds included), and the canonical form is a fixed
+// point of the rendering.
+func FuzzParseSweep(f *testing.F) {
+	for _, seed := range []string{
+		"smoke",
+		"default",
+		"",
+		"plat=homog8,wireless;fab=mesh,bus;dvfs=0,1,2;wl=jpeg,h264,carradio,synth16,jobs32;heur=list,anneal,exhaustive;fid=mvp,pipe8,vp64",
+		"plat=2xrisc+4xdsp+1xvliw,8xrisc@600,1xctrl+4xdsp@3200;wl=multi:jpeg+carradio+synth8,jpeg",
+		"wl=multi:synth2+synth2;plat=2xrisc",
+		"plat=celllike4;;wl= jpeg , carradio ;dvfs=-1",
+		"plat=03xrisc@01000;wl=synth02",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		sw, err := ParseSweep(spec, 1)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if expansionBound(sw) > maxFuzzPoints {
+			return
+		}
+		canon := sw.Spec()
+		sw2, err := ParseSweep(canon, 1)
+		if err != nil {
+			t.Fatalf("canonical spec %q (of %q) does not re-parse: %v", canon, spec, err)
+		}
+		if again := sw2.Spec(); again != canon {
+			t.Fatalf("canonical spec is not a fixed point: %q -> %q", canon, again)
+		}
+		p1, err1 := sw.Points()
+		p2, err2 := sw2.Points()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("expansion errors diverge for %q: %v vs %v", spec, err1, err2)
+		}
+		if err1 == nil && HashPoints(p1) != HashPoints(p2) {
+			t.Fatalf("spec %q and its canonical form %q expand to different points", spec, canon)
+		}
+	})
+}
+
+// FuzzPlatToken holds the plat-dimension token round trip, covering
+// both the named presets and the custom core-mix grammar.
+func FuzzPlatToken(f *testing.F) {
+	for _, seed := range []string{
+		"homog8", "mpcore2", "celllike4", "wireless",
+		"2xrisc+4xdsp+1xvliw", "8xrisc@600", "1xctrl+4xdsp@3200",
+		"64xrisc", "2xRISC@01000", "homog+8", "1xacc@1000000",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		ps, err := parsePlat(tok)
+		if err != nil {
+			return
+		}
+		if n := ps.CoreCount(); n < 1 || n > 65 {
+			t.Fatalf("token %q parsed to %d cores", tok, n)
+		}
+		ps2, err := parsePlat(ps.Token())
+		if err != nil {
+			t.Fatalf("canonical token %q (of %q) does not re-parse: %v", ps.Token(), tok, err)
+		}
+		if !reflect.DeepEqual(ps, ps2) {
+			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, ps, ps2)
+		}
+	})
+}
+
+// FuzzWorkloadToken holds the wl-dimension token round trip,
+// including the multi: scenario grammar.
+func FuzzWorkloadToken(f *testing.F) {
+	for _, seed := range []string{
+		"jpeg", "h264", "carradio", "synth16", "jobs32",
+		"multi:jpeg+carradio+synth8", "multi:synth2+synth2", "multi:h264",
+		"synth512", "jobs02", "multi:jpeg+jpeg+jpeg+jpeg+jpeg+jpeg+jpeg+jpeg",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		w, err := parseWorkload(tok)
+		if err != nil {
+			return
+		}
+		w2, err := parseWorkload(w.String())
+		if err != nil {
+			t.Fatalf("canonical token %q (of %q) does not re-parse: %v", w.String(), tok, err)
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, w, w2)
+		}
+		for _, a := range w.Apps {
+			if a.Kind == "jobs" || a.Kind == "multi" {
+				t.Fatalf("token %q admitted %q into a multi scenario", tok, a.Kind)
+			}
+		}
+	})
+}

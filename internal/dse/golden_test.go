@@ -1,0 +1,75 @@
+package dse
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden sweep regression files")
+
+// TestDefaultSweepGolden pins the default sweep's observable output —
+// the JSONL provenance header (whose spec_hash fingerprints every
+// expanded point and derived seed), the per-workload Pareto fronts,
+// and their hypervolumes — against a committed golden file. Silent
+// determinism drift anywhere in the stack (expansion, seeding,
+// mapping search, execution, metrics, front extraction, hypervolume)
+// shows up here as a diff instead of surviving until a cross-host
+// merge fails. Regenerate deliberately with:
+//
+//	go test ./internal/dse/ -run TestDefaultSweepGolden -update-golden
+func TestDefaultSweepGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluates the full 612-point default sweep; skipped under -short")
+	}
+	sw, err := ParseSweep("default", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, NewHeader("default", 1, points, nil)); err != nil {
+		t.Fatal(err)
+	}
+	results := (&Engine{}).Run(points)
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("point %d failed: %s", r.Point.ID, r.Err)
+		}
+	}
+	front := GroupedFront(results)
+	buf.WriteString(FrontTable(results, front))
+	buf.WriteString(HVTable(Hypervolumes(results), false))
+
+	path := filepath.Join("testdata", "default_sweep.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("default sweep drifted from %s.\nThe header, fronts or hypervolumes changed — if intentional, regenerate with -update-golden and call the change out in the PR.\n--- got ---\n%s\n--- want ---\n%s",
+			path, truncate(buf.Bytes()), truncate(want))
+	}
+}
+
+// truncate keeps failure output readable; the full files diff better
+// offline.
+func truncate(b []byte) []byte {
+	const max = 4096
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte(nil), b[:max]...), []byte("\n... (truncated)")...)
+}

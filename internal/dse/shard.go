@@ -67,6 +67,11 @@ func EstCost(p Point) float64 {
 	case "exhaustive":
 		c *= 10
 	}
+	// A multi-app scenario maps and executes the union of its
+	// constituent graphs, so its cost scales with the app count.
+	if len(p.Apps) > 1 {
+		c *= float64(len(p.Apps))
+	}
 	return c
 }
 

@@ -5,17 +5,31 @@ import (
 	"strconv"
 	"strings"
 
+	"mpsockit/internal/platform"
 	"mpsockit/internal/xrand"
 )
 
 // WorkloadSpec names one workload dimension value.
 type WorkloadSpec struct {
-	Kind string // jpeg | h264 | carradio | synth | jobs
-	N    int    // synth task count / jobs job count
+	Kind string         // jpeg | h264 | carradio | synth | jobs | multi
+	N    int            // synth task count / jobs job count
+	Apps []WorkloadSpec // constituent apps of a multi workload
 }
 
-// String renders the workload token ("jpeg", "synth16", …).
+// String renders the workload token ("jpeg", "synth16",
+// "multi:jpeg+carradio", …).
 func (w WorkloadSpec) String() string {
+	if w.Kind == "multi" {
+		var b strings.Builder
+		b.WriteString("multi:")
+		for i, a := range w.Apps {
+			if i > 0 {
+				b.WriteByte('+')
+			}
+			b.WriteString(a.String())
+		}
+		return b.String()
+	}
 	if w.N > 0 {
 		return fmt.Sprintf("%s%d", w.Kind, w.N)
 	}
@@ -106,7 +120,7 @@ func (s *Sweep) Points() ([]Point, error) {
 							ps.Fabric = fab
 							ps.DVFS = d
 							id := len(points)
-							points = append(points, Point{
+							p := Point{
 								ID:           id,
 								Seed:         seedFor(s.Seed, "point", id),
 								Plat:         ps,
@@ -117,7 +131,26 @@ func (s *Sweep) Points() ([]Point, error) {
 								Fidelity:     f.Kind,
 								Iterations:   f.Iterations,
 								Quantum:      f.Quantum,
-							})
+							}
+							if wl.Kind == "multi" {
+								// The token is the workload identity; each
+								// constituent derives the same instance seed
+								// its single-workload token would, so multi
+								// points compose the exact instances the
+								// single points evaluate.
+								tok := wl.String()
+								p.Workload = tok
+								p.N = 0
+								p.WorkloadSeed = seedFor(s.Seed, "wl/"+tok, 0)
+								for _, a := range wl.Apps {
+									p.Apps = append(p.Apps, AppRef{
+										Kind: a.Kind,
+										N:    a.N,
+										Seed: seedFor(s.Seed, "wl/"+a.Kind, a.N),
+									})
+								}
+							}
+							points = append(points, p)
 						}
 					}
 				}
@@ -139,8 +172,11 @@ func (s *Sweep) Points() ([]Point, error) {
 //	wl=jpeg,h264,carradio,synth16,jobs32;heur=list,anneal,exhaustive;
 //	fid=mvp,pipe8,vp64
 //
-// Unspecified dimensions default to fab=mesh, dvfs=1, heur=list,
-// fid=mvp.
+// The plat dimension also accepts custom core mixes
+// ("2xrisc+4xdsp@3200") and the wl dimension multi-application
+// scenarios ("multi:jpeg+carradio+synth8"); the full grammar is in
+// the package comment. Unspecified dimensions default to fab=mesh,
+// dvfs=1, heur=list, fid=mvp.
 func ParseSweep(spec string, seed uint64) (*Sweep, error) {
 	s := &Sweep{Seed: seed}
 	switch spec {
@@ -230,10 +266,18 @@ func ParseSweep(spec string, seed uint64) (*Sweep, error) {
 }
 
 // parsePlat parses a platform token: homogN, mpcoreN, celllikeN (N =
-// SPE count) or wireless.
+// SPE count), wireless, or a digit-leading custom core mix
+// ("2xrisc+4xdsp@3200", see platform.ParseMix).
 func parsePlat(tok string) (PlatSpec, error) {
 	if tok == "wireless" {
 		return PlatSpec{Kind: "wireless"}, nil
+	}
+	if tok != "" && tok[0] >= '0' && tok[0] <= '9' {
+		mix, err := platform.ParseMix(tok)
+		if err != nil {
+			return PlatSpec{}, fmt.Errorf("dse: bad platform token %q: %w", tok, err)
+		}
+		return PlatSpec{Kind: "custom", Mix: mix}, nil
 	}
 	for _, kind := range []string{"homog", "mpcore", "celllike"} {
 		if rest, ok := strings.CutPrefix(tok, kind); ok {
@@ -247,9 +291,33 @@ func parsePlat(tok string) (PlatSpec, error) {
 	return PlatSpec{}, fmt.Errorf("dse: unknown platform %q", tok)
 }
 
-// parseWorkload parses a workload token: jpeg, h264, carradio, synthN
-// or jobsN.
+// parseWorkload parses a workload token: jpeg, h264, carradio,
+// synthN, jobsN, or a multi:a+b+c multi-application scenario over the
+// task-graph workloads.
 func parseWorkload(tok string) (WorkloadSpec, error) {
+	if rest, ok := strings.CutPrefix(tok, "multi:"); ok {
+		w := WorkloadSpec{Kind: "multi"}
+		for _, app := range strings.Split(rest, "+") {
+			a, err := parseWorkload(app)
+			if err != nil {
+				return WorkloadSpec{}, fmt.Errorf("dse: bad multi workload %q: %w", tok, err)
+			}
+			switch a.Kind {
+			case "jobs", "multi":
+				// The RTOS job bag has no task graph to compose, and
+				// scenarios do not nest.
+				return WorkloadSpec{}, fmt.Errorf("dse: workload %q cannot appear in a multi scenario", app)
+			}
+			w.Apps = append(w.Apps, a)
+		}
+		if len(w.Apps) == 0 {
+			return WorkloadSpec{}, fmt.Errorf("dse: empty multi workload %q", tok)
+		}
+		if len(w.Apps) > 8 {
+			return WorkloadSpec{}, fmt.Errorf("dse: multi workload %q exceeds 8 apps", tok)
+		}
+		return w, nil
+	}
 	switch tok {
 	case "jpeg", "h264", "carradio":
 		return WorkloadSpec{Kind: tok}, nil
@@ -264,6 +332,44 @@ func parseWorkload(tok string) (WorkloadSpec, error) {
 		}
 	}
 	return WorkloadSpec{}, fmt.Errorf("dse: unknown workload %q", tok)
+}
+
+// Spec renders the sweep back to the canonical ';'-separated
+// dimension-list form of the grammar (see the package comment), with
+// dimensions in plat/fab/dvfs/wl/heur/fid order and unset dimensions
+// omitted. ParseSweep(s.Spec(), s.Seed) expands to the same points as
+// s — including for sweeps that were built from a preset name — which
+// is the round-trip property the fuzz targets hold.
+func (s *Sweep) Spec() string {
+	var dims []string
+	add := func(key string, vals []string) {
+		if len(vals) > 0 {
+			dims = append(dims, key+"="+strings.Join(vals, ","))
+		}
+	}
+	var plats []string
+	for _, p := range s.Platforms {
+		plats = append(plats, p.Token())
+	}
+	add("plat", plats)
+	add("fab", s.Fabrics)
+	var dvfs []string
+	for _, d := range s.DVFS {
+		dvfs = append(dvfs, strconv.Itoa(d))
+	}
+	add("dvfs", dvfs)
+	var wls []string
+	for _, w := range s.Workloads {
+		wls = append(wls, w.String())
+	}
+	add("wl", wls)
+	add("heur", s.Heuristics)
+	var fids []string
+	for _, f := range s.Fidelities {
+		fids = append(fids, f.String())
+	}
+	add("fid", fids)
+	return strings.Join(dims, ";")
 }
 
 // parseFidelity parses a fidelity token: mvp, pipeN (N pipelined

@@ -788,75 +788,11 @@ func edgeName(i int) string {
 // "virtual platform" simulation of section IV. It uses the platform's
 // kernel, which must be otherwise idle, and returns the measured
 // makespan plus per-PE busy time and the fabric traffic of the run.
+// It shares its implementation with ExecuteMulti (executeSpans), so
+// the two can never diverge.
 func Execute(a *Assignment) (ExecStats, error) {
-	k := a.Platform.Kernel
-	if k == nil {
-		return ExecStats{}, fmt.Errorf("mapping: platform has no kernel")
-	}
-	g := a.Graph
-	v := g.View()
-	n := len(g.Tasks)
-	pending := make([]int, n) // unarrived inputs
-	for id := range pending {
-		pending[id] = len(v.InEdges(id))
-	}
-	peRes := make([]*sim.Resource, len(a.Platform.Cores))
-	for i := range peRes {
-		peRes[i] = k.NewResource(peName(i), 1)
-	}
-	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
-	busy := make([]sim.Time, len(a.Platform.Cores))
-	var makespan sim.Time
-	done := 0
-	var runTask func(id int)
-	deliver := func(id int) {
-		pending[id]--
-		if pending[id] == 0 {
-			runTask(id)
-		}
-	}
-	runTask = func(id int) {
-		k.Spawn(g.Tasks[id].Name, func(p *sim.Proc) {
-			pe := a.TaskPE[id]
-			core := a.Platform.Core(pe)
-			peRes[pe].Acquire(p)
-			dur := core.Cycles(g.Tasks[id].CyclesOn(core.Class))
-			p.Delay(dur)
-			peRes[pe].Release()
-			busy[pe] += dur
-			if p.Now() > makespan {
-				makespan = p.Now()
-			}
-			done++
-			for _, oe := range v.OutEdges(id) {
-				to := oe.Task
-				if a.TaskPE[to] == pe {
-					k.Schedule(0, func() { deliver(to) })
-				} else {
-					a.Platform.Fabric.Transfer(pe, a.TaskPE[to], oe.Bytes, func() {
-						if k.Now() > makespan {
-							makespan = k.Now()
-						}
-						deliver(to)
-					})
-				}
-			}
-		})
-	}
-	for id := 0; id < n; id++ {
-		if pending[id] == 0 {
-			runTask(id)
-		}
-	}
-	k.Run()
-	if done != n {
-		return ExecStats{}, fmt.Errorf("mapping: executed %d/%d tasks (deadlock?)", done, n)
-	}
-	return ExecStats{
-		Makespan: makespan,
-		PEBusy:   busy,
-		Fabric:   platform.FabricStatsOf(a.Platform.Fabric).Sub(fabric0),
-	}, nil
+	stats, _, err := executeSpans(a, nil)
+	return stats, err
 }
 
 // ExecutePipelined runs the mapped graph as a pipeline over

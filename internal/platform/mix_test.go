@@ -1,0 +1,121 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"mpsockit/internal/sim"
+)
+
+func TestParseMixRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"8xrisc",
+		"2xrisc+4xdsp",
+		"2xrisc@400+2xdsp+1xvliw+1xacc",
+		"1xctrl+4xdsp@3200",
+		"64xrisc",
+		"1xacc@1",
+	} {
+		groups, err := ParseMix(spec)
+		if err != nil {
+			t.Fatalf("ParseMix(%q): %v", spec, err)
+		}
+		rendered := FormatMix(groups)
+		again, err := ParseMix(rendered)
+		if err != nil {
+			t.Fatalf("ParseMix(FormatMix(%q)=%q): %v", spec, rendered, err)
+		}
+		if !reflect.DeepEqual(groups, again) {
+			t.Fatalf("mix %q does not round-trip: %v vs %v", spec, groups, again)
+		}
+	}
+	// Explicit class-default clock renders without the @ suffix and
+	// still parses to the same group.
+	a, _ := ParseMix("2xrisc@1000")
+	b, _ := ParseMix("2xrisc")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("default-clock mix differs: %v vs %v", a, b)
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "risc", "0xrisc", "2xquantum", "2xrisc@0", "2xrisc@", "x",
+		"65xrisc", "33xrisc+32xdsp", "2xrisc++1xdsp", "-1xrisc",
+		"2xrisc@9999999",
+	} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNewMixMatchesHomogeneous: an all-RISC mix at the default clock
+// is core-for-core the homogeneous builder's platform (class, clock,
+// DVFS table, memories, space-sharing).
+func TestNewMixMatchesHomogeneous(t *testing.T) {
+	k := sim.NewKernel()
+	groups, err := ParseMix("8xrisc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := NewMix(k, groups, nil)
+	ref := NewHomogeneous(k, 8, 1_000_000_000, nil)
+	if len(mix.Cores) != len(ref.Cores) {
+		t.Fatalf("core count %d vs %d", len(mix.Cores), len(ref.Cores))
+	}
+	for i, c := range mix.Cores {
+		r := ref.Cores[i]
+		if c.Class != r.Class || c.Hz() != r.Hz() || !reflect.DeepEqual(c.Levels, r.Levels) ||
+			c.L1Bytes != r.L1Bytes || c.L2Bytes != r.L2Bytes || c.SpaceShared != r.SpaceShared {
+			t.Fatalf("core %d differs: %+v vs %+v", i, c, r)
+		}
+	}
+}
+
+// TestNewMixWirelessShape: the wireless terminal's core mix is
+// expressible as a spec with identical classes and clocks in order.
+func TestNewMixWirelessShape(t *testing.T) {
+	k := sim.NewKernel()
+	groups, err := ParseMix("2xrisc@400+2xdsp+1xvliw+1xacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := NewMix(k, groups, nil)
+	ref := NewWirelessTerminal(k, nil)
+	if len(mix.Cores) != len(ref.Cores) {
+		t.Fatalf("core count %d vs %d", len(mix.Cores), len(ref.Cores))
+	}
+	for i, c := range mix.Cores {
+		r := ref.Cores[i]
+		if c.Class != r.Class || c.Hz() != r.Hz() || !reflect.DeepEqual(c.Levels, r.Levels) {
+			t.Fatalf("core %d: class %v@%d vs %v@%d", i, c.Class, c.Hz(), r.Class, r.Hz())
+		}
+	}
+	if mix.Cores[0].SpaceShared {
+		t.Fatal("heterogeneous mix joined the space-shared pool")
+	}
+}
+
+func TestPEClassTextMarshalling(t *testing.T) {
+	for cl := RISC; cl <= CTRL; cl++ {
+		data, err := cl.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PEClass
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != cl {
+			t.Fatalf("%v round-trips to %v", cl, back)
+		}
+	}
+	var c PEClass
+	if err := c.UnmarshalText([]byte("QUANTUM")); err == nil {
+		t.Fatal("unknown class name accepted")
+	}
+	if _, err := PEClass(99).MarshalText(); err == nil {
+		t.Fatal("out-of-range class encoded")
+	}
+}

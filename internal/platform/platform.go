@@ -50,6 +50,26 @@ func ParsePEClass(s string) (PEClass, error) {
 	return 0, fmt.Errorf("platform: unknown PE class %q", s)
 }
 
+// MarshalText encodes the class by name, so JSON records stay
+// readable ("RISC", not 0) and stable if class values are ever
+// reordered.
+func (c PEClass) MarshalText() ([]byte, error) {
+	if c < 0 || int(c) >= len(peClassNames) {
+		return nil, fmt.Errorf("platform: cannot encode PEClass(%d)", int(c))
+	}
+	return []byte(peClassNames[c]), nil
+}
+
+// UnmarshalText decodes a class name produced by MarshalText.
+func (c *PEClass) UnmarshalText(text []byte) error {
+	cl, err := ParsePEClass(string(text))
+	if err != nil {
+		return err
+	}
+	*c = cl
+	return nil
+}
+
 // Core is one processing element. Frequency is adjustable at run time
 // between discrete DVFS levels, the mechanism section II-A proposes
 // for boosting sequential phases ("the frequency at which each core

@@ -1,0 +1,146 @@
+package taskgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/sim"
+)
+
+// randomConcurrency builds a concurrency graph of n single-task apps
+// with random loads and a random concurrency relation drawn from r.
+func randomConcurrency(r *rand.Rand, n int) *ConcurrencyGraph {
+	cg := NewConcurrencyGraph()
+	for i := 0; i < n; i++ {
+		g := NewGraph("app")
+		g.AddTask(&Task{
+			Name: "t",
+			WCET: map[platform.PEClass]int64{platform.RISC: 1 + r.Int63n(1_000_000)},
+		})
+		period := sim.Time(0)
+		if r.Intn(4) > 0 { // leave some apps load-less (period 0)
+			period = sim.Time(1+r.Int63n(50)) * sim.Millisecond
+		}
+		cg.AddApp(&App{Name: "app", Graph: g, Period: period})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Intn(2) == 0 {
+				cg.MarkConcurrent(cg.Apps[i], cg.Apps[j])
+			}
+		}
+	}
+	return cg
+}
+
+// isClique reports whether the apps in ids are pairwise concurrent.
+func isClique(cg *ConcurrencyGraph, ids []int) bool {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if !cg.Concurrent(ids[i], ids[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMaximalCliquesProperties: on random concurrency graphs, every
+// returned set is a clique, no returned clique extends to a larger
+// one, and every app appears in at least one returned clique.
+func TestMaximalCliquesProperties(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(sz)%9
+		cg := randomConcurrency(r, n)
+		cliques := cg.MaximalCliques()
+		covered := make([]bool, n)
+		for _, cl := range cliques {
+			if len(cl) == 0 || !isClique(cg, cl) {
+				t.Logf("non-clique %v returned", cl)
+				return false
+			}
+			for _, id := range cl {
+				covered[id] = true
+			}
+			// Maximality: no app outside the clique is concurrent with
+			// every member.
+			inClique := make(map[int]bool, len(cl))
+			for _, id := range cl {
+				inClique[id] = true
+			}
+			for cand := 0; cand < n; cand++ {
+				if inClique[cand] {
+					continue
+				}
+				extends := true
+				for _, id := range cl {
+					if !cg.Concurrent(cand, id) {
+						extends = false
+						break
+					}
+				}
+				if extends {
+					t.Logf("clique %v extends with app %d", cl, cand)
+					return false
+				}
+			}
+		}
+		for id, ok := range covered {
+			if !ok {
+				t.Logf("app %d in no maximal clique", id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorstCaseLoadBruteForce: the reported worst-case load equals
+// the brute-force maximum aggregate load over every clique (maximal
+// or not) of the concurrency relation — loads are non-negative, so
+// restricting the scan to maximal cliques must not change the answer.
+func TestWorstCaseLoadBruteForce(t *testing.T) {
+	prop := func(seed int64, sz uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(sz)%9
+		cg := randomConcurrency(r, n)
+		got, gotClique := cg.WorstCaseLoad(platform.RISC)
+		var want float64
+		for mask := 1; mask < 1<<n; mask++ {
+			var ids []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					ids = append(ids, i)
+				}
+			}
+			if !isClique(cg, ids) {
+				continue
+			}
+			var load float64
+			for _, id := range ids {
+				load += cg.Apps[id].Load(platform.RISC)
+			}
+			if load > want {
+				want = load
+			}
+		}
+		if got != want {
+			t.Logf("WorstCaseLoad=%v brute-force=%v", got, want)
+			return false
+		}
+		if got > 0 && !isClique(cg, gotClique) {
+			t.Logf("worst clique %v is not a clique", gotClique)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

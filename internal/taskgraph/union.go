@@ -1,0 +1,42 @@
+package taskgraph
+
+import "fmt"
+
+// Span is a contiguous task-ID range [Lo, Hi) inside a composed
+// graph, identifying which tasks belong to one constituent
+// application.
+type Span struct {
+	// Lo is the first task ID of the span (inclusive).
+	Lo int
+	// Hi is one past the last task ID of the span (exclusive).
+	Hi int
+}
+
+// Len returns the number of tasks in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Union composes disjoint task graphs into one mappable DAG — the
+// worst-case concurrent scenario of a multi-application usage case,
+// where every constituent runs at once and competes for the same
+// cores and fabric. Tasks are copied (sources stay immutable) with
+// IDs offset per graph and names prefixed "aK." to stay unique when
+// the same application appears twice; WCET tables are shared with the
+// sources, which never mutate them. The returned spans give each
+// source graph's task-ID range, in argument order.
+func Union(name string, gs ...*Graph) (*Graph, []Span) {
+	u := NewGraph(name)
+	spans := make([]Span, len(gs))
+	for gi, g := range gs {
+		lo := len(u.Tasks)
+		for _, t := range g.Tasks {
+			ct := *t
+			ct.Name = fmt.Sprintf("a%d.%s", gi, t.Name)
+			u.AddTask(&ct)
+		}
+		for _, e := range g.Edges {
+			u.Connect(u.Tasks[lo+e.From], u.Tasks[lo+e.To], e.Bytes, e.Label)
+		}
+		spans[gi] = Span{Lo: lo, Hi: len(u.Tasks)}
+	}
+	return u, spans
+}

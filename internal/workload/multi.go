@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/sim"
+	"mpsockit/internal/taskgraph"
+)
+
+// Multi-application usage scenarios (paper section IV): several
+// applications composed under a concurrency graph, whose maximal
+// cliques give the worst-case concurrent computational load a
+// platform and mapping must satisfy. The builders here turn a list of
+// application specs into that analysis structure plus the union task
+// graph of the worst-case scenario.
+
+// AppSpec names one application instance of a multi-app scenario.
+type AppSpec struct {
+	// Kind is a task-graph workload: jpeg, h264, carradio or synth.
+	Kind string
+	// N sizes parameterized workloads (synth task count).
+	N int
+	// Seed generates parameterized workload instances.
+	Seed uint64
+}
+
+// String renders the app token ("jpeg", "synth16", …).
+func (a AppSpec) String() string {
+	if a.N > 0 {
+		return fmt.Sprintf("%s%d", a.Kind, a.N)
+	}
+	return a.Kind
+}
+
+// AppTaskGraph builds the task graph of one named application — the
+// single dispatch point for workload tokens, shared by single-app
+// design points and multi-app scenarios so both map identical
+// instances.
+func AppTaskGraph(kind string, n int, seed uint64) (*taskgraph.Graph, error) {
+	switch kind {
+	case "jpeg":
+		return JPEGTaskGraph(), nil
+	case "h264":
+		return H264TaskGraph(), nil
+	case "carradio":
+		return CarRadioTaskGraph(), nil
+	case "synth":
+		if n <= 0 {
+			n = 16
+		}
+		return SyntheticTaskGraph(n, seed), nil
+	}
+	return nil, fmt.Errorf("workload: unknown task-graph workload %q", kind)
+}
+
+// AppPeriod returns the nominal activation period of an application
+// kind — the interval over which its graph executes once, which turns
+// total WCET into a cycles-per-second demand for the concurrency
+// analysis. Streaming codecs run at frame/block rate; synthetic DAGs
+// get a generous batch period.
+func AppPeriod(kind string) sim.Time {
+	switch kind {
+	case "jpeg", "h264":
+		return 33 * sim.Millisecond // ~30 fps frame rate
+	case "carradio":
+		return 10 * sim.Millisecond // audio block rate
+	default:
+		return 50 * sim.Millisecond
+	}
+}
+
+// AppRT returns the real-time class of an application kind: the audio
+// chain is hard real-time, the video codecs soft, synthetic load best
+// effort (section IV's scheduling taxonomy).
+func AppRT(kind string) taskgraph.RTClass {
+	switch kind {
+	case "carradio":
+		return taskgraph.HardRT
+	case "jpeg", "h264":
+		return taskgraph.SoftRT
+	default:
+		return taskgraph.BestEffort
+	}
+}
+
+// MultiScenario builds the concurrency graph of a multi-app point:
+// one App per spec (graphs supplied by the caller, typically from a
+// prototype cache) with kind-derived periods and RT classes, every
+// pair marked concurrent — the worst-case usage scenario in which all
+// listed applications are active at once. Restricted scenarios (apps
+// that exclude each other) would drop marks here; the clique analysis
+// downstream already handles them.
+func MultiScenario(apps []AppSpec, graphs []*taskgraph.Graph) (*taskgraph.ConcurrencyGraph, error) {
+	if len(apps) == 0 || len(apps) != len(graphs) {
+		return nil, fmt.Errorf("workload: multi scenario needs one graph per app (%d apps, %d graphs)", len(apps), len(graphs))
+	}
+	cg := taskgraph.NewConcurrencyGraph()
+	for i, a := range apps {
+		cg.AddApp(&taskgraph.App{
+			Name:   a.String(),
+			Graph:  graphs[i],
+			Period: AppPeriod(a.Kind),
+			RT:     AppRT(a.Kind),
+		})
+	}
+	for i := range cg.Apps {
+		for j := i + 1; j < len(cg.Apps); j++ {
+			cg.MarkConcurrent(cg.Apps[i], cg.Apps[j])
+		}
+	}
+	return cg, nil
+}
+
+// WorstLoad scans the PE classes every task of the scenario can run
+// on and returns the maximum worst-case concurrent demand in cycles
+// per second, with the class and clique realizing it — "the worst
+// case computational loads" the concurrency graph exists to derive.
+// Classes some task cannot run on are skipped: CyclesOn charges an
+// effectively-infinite sentinel there, which is meaningful to a
+// mapper avoiding the placement but not as a demand figure. Classes
+// scan in ascending order so ties resolve deterministically.
+func WorstLoad(cg *taskgraph.ConcurrencyGraph) (float64, platform.PEClass, []int) {
+	var worst float64
+	var at []int
+	class := platform.RISC
+	for cl := platform.RISC; cl <= platform.CTRL; cl++ {
+		runnable := true
+		for _, a := range cg.Apps {
+			for _, t := range a.Graph.Tasks {
+				if !t.CanRunOn(cl) {
+					runnable = false
+				}
+			}
+		}
+		if !runnable {
+			continue
+		}
+		load, clique := cg.WorstCaseLoad(cl)
+		if load > worst {
+			worst, class, at = load, cl, clique
+		}
+	}
+	return worst, class, at
+}

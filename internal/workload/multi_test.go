@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"mpsockit/internal/platform"
+	"mpsockit/internal/taskgraph"
+)
+
+func TestAppTaskGraphDispatch(t *testing.T) {
+	for _, kind := range []string{"jpeg", "h264", "carradio", "synth"} {
+		g, err := AppTaskGraph(kind, 8, 42)
+		if err != nil {
+			t.Fatalf("AppTaskGraph(%q): %v", kind, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s graph invalid: %v", kind, err)
+		}
+	}
+	if _, err := AppTaskGraph("jobs", 8, 42); err == nil {
+		t.Fatal("jobs accepted as a task-graph workload")
+	}
+	// Same (kind, n, seed) must rebuild the identical instance.
+	a, _ := AppTaskGraph("synth", 12, 7)
+	b, _ := AppTaskGraph("synth", 12, 7)
+	if len(a.Tasks) != len(b.Tasks) || len(a.Edges) != len(b.Edges) {
+		t.Fatalf("synth instance not deterministic: %d/%d tasks, %d/%d edges",
+			len(a.Tasks), len(b.Tasks), len(a.Edges), len(b.Edges))
+	}
+}
+
+func TestMultiScenarioWorstLoad(t *testing.T) {
+	apps := []AppSpec{{Kind: "jpeg"}, {Kind: "carradio"}, {Kind: "synth", N: 8, Seed: 3}}
+	graphs := make([]*taskgraph.Graph, len(apps))
+	for i, a := range apps {
+		g, err := AppTaskGraph(a.Kind, a.N, a.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[i] = g
+	}
+	cg, err := MultiScenario(apps, graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cg.Apps) != 3 {
+		t.Fatalf("scenario has %d apps", len(cg.Apps))
+	}
+	// All apps concurrent: the single maximal clique is everything,
+	// and the worst load is the full sum on the bottleneck class.
+	cliques := cg.MaximalCliques()
+	if len(cliques) != 1 || len(cliques[0]) != 3 {
+		t.Fatalf("all-concurrent scenario has cliques %v", cliques)
+	}
+	load, class, at := WorstLoad(cg)
+	if load <= 0 || len(at) != 3 {
+		t.Fatalf("worst load %v at %v", load, at)
+	}
+	// The demand figure must come from a class every task can run on;
+	// VLIW/ACC carry the cannot-run sentinel in these graphs.
+	if class != platform.RISC && class != platform.CTRL && class != platform.DSP {
+		t.Fatalf("worst load reported on non-universal class %v", class)
+	}
+	if load > 1e12 {
+		t.Fatalf("worst load %g looks like the cannot-run sentinel leaked", load)
+	}
+	// Mismatched inputs are an error, not a panic.
+	if _, err := MultiScenario(apps, graphs[:2]); err == nil {
+		t.Fatal("mismatched apps/graphs accepted")
+	}
+	if _, err := MultiScenario(nil, nil); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+}
+
+// TestUnionComposition: the union graph of a scenario preserves each
+// constituent's tasks and edges inside its span, stays acyclic, and
+// keeps sources immutable.
+func TestUnionComposition(t *testing.T) {
+	j := JPEGTaskGraph()
+	c := CarRadioTaskGraph()
+	jTasks, cTasks := len(j.Tasks), len(c.Tasks)
+	u, spans := taskgraph.Union("multi:jpeg+carradio", j, c)
+	if err := u.Validate(); err != nil {
+		t.Fatalf("union invalid: %v", err)
+	}
+	if len(spans) != 2 || spans[0].Len() != jTasks || spans[1].Len() != cTasks {
+		t.Fatalf("spans %v do not cover %d+%d tasks", spans, jTasks, cTasks)
+	}
+	if len(u.Tasks) != jTasks+cTasks || len(u.Edges) != len(j.Edges)+len(c.Edges) {
+		t.Fatalf("union has %d tasks %d edges", len(u.Tasks), len(u.Edges))
+	}
+	for _, e := range u.Edges {
+		sameSpan := false
+		for _, s := range spans {
+			if e.From >= s.Lo && e.From < s.Hi && e.To >= s.Lo && e.To < s.Hi {
+				sameSpan = true
+			}
+		}
+		if !sameSpan {
+			t.Fatalf("edge %d->%d crosses application spans", e.From, e.To)
+		}
+	}
+	if len(j.Tasks) != jTasks || len(c.Tasks) != cTasks {
+		t.Fatal("union mutated a source graph")
+	}
+	if j.Tasks[0].Name == u.Tasks[0].Name {
+		t.Fatal("union task names not disambiguated")
+	}
+}
