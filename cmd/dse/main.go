@@ -7,6 +7,7 @@
 //
 //	dse [-sweep SPEC] [-workers N] [-seed S] [-out FILE] [-resume]
 //	    [-shard K/N] [-merge GLOB] [-pareto] [-hypervolume]
+//	dse -connect URL [-worker-id ID] [-worker-dir DIR] [-workers N]
 //
 // SPEC is a preset (smoke, default) or a ';'-separated dimension
 // list, e.g.:
@@ -24,6 +25,16 @@
 // byte-reproducible for a given -seed and can resume from a partial
 // file with -resume (the header is validated; resuming a file from a
 // different sweep or seed fails loudly).
+//
+// SIGINT/SIGTERM stop a sweep gracefully: in-flight evaluations
+// finish, the completed prefix is flushed as a valid -resume
+// checkpoint, and the process exits nonzero.
+//
+// The second form joins a dsed coordinator as a worker: the sweep
+// spec comes from the coordinator (and is verified against the local
+// engine's expansion), leased point ranges are evaluated on the local
+// pool, and result lines stream back with retry and deterministic
+// backoff. See docs/dsed.md.
 //
 // A sweep distributes across processes or hosts with -shard K/N:
 // every invocation deterministically plans the same N contiguous,
@@ -46,16 +57,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
+	"mpsockit/internal/coord"
 	"mpsockit/internal/dse"
 )
 
@@ -73,7 +89,21 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	benchJSON := flag.String("bench-json", "", "after the sweep, write a machine-readable timing record (points/sec, wall time, GOMAXPROCS) to this file")
+	connect := flag.String("connect", "", "join a dsed coordinator at this base URL as a worker instead of sweeping locally")
+	workerID := flag.String("worker-id", "", "worker identity in -connect mode (default host-pid)")
+	workerDir := flag.String("worker-dir", "", "directory for locally checkpointing leases the coordinator could not be told about (-connect mode)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context: in-flight evaluations finish,
+	// the ordered prefix is flushed as a valid checkpoint, and the
+	// process exits nonzero so supervisors see the sweep as unfinished.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *connect != "" {
+		runWorker(ctx, *connect, *workerID, *workerDir, *workers)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -173,9 +203,16 @@ func main() {
 				emitted, len(slice), time.Since(start).Seconds())
 		}
 	}}
-	results := append(prefix, eng.Run(remaining)...)
+	results := append(prefix, eng.RunContext(ctx, remaining)...)
 	if err := sink.Flush(); err != nil {
 		fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "dse: interrupted; %d/%d points flushed to %s as a valid checkpoint (resume with -resume)\n",
+			len(results), len(slice), outPath)
+		closeSink()
+		stopCPUProfile()
+		os.Exit(130)
 	}
 
 	failed := 0
@@ -195,6 +232,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dse: note: fronts below cover only %s; merge all shards for the full sweep\n", shard)
 	}
 	report(results, *pareto, *hypervolume, baseline, reportWriter(outPath))
+}
+
+// runWorker joins a dsed coordinator and evaluates leased point
+// ranges until the sweep completes (exit 0), the worker is
+// interrupted (exit 130), or the coordinator stays unreachable past
+// the retry budget (exit 1; any undelivered lease is checkpointed
+// under -worker-dir and resubmitted on the next join with the same
+// -worker-id).
+func runWorker(ctx context.Context, url, id, dir string, workers int) {
+	w := coord.NewWorker(coord.WorkerConfig{
+		URL:           url,
+		ID:            id,
+		Workers:       workers,
+		CheckpointDir: dir,
+		Log:           log.New(os.Stderr, "dse: ", 0),
+	})
+	if err := w.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "dse: worker interrupted")
+			os.Exit(130)
+		}
+		fatal(err)
+	}
 }
 
 // merge combines shard files matching glob into out and optionally

@@ -1,0 +1,162 @@
+// Command dsed is the fault-tolerant sweep coordinator: it expands a
+// sweep once, serves contiguous point-ID leases to dse workers over
+// HTTP, accumulates their streamed JSONL result lines idempotently,
+// and writes a final file byte-identical to a fault-free
+// single-worker run — regardless of how many workers joined, died,
+// stalled, retried or raced while the sweep ran.
+//
+// Usage:
+//
+//	dsed [-addr :9090] [-sweep SPEC] [-seed S] [-out FILE]
+//	     [-checkpoint FILE] [-resume] [-lease-timeout D] [-chunks N]
+//	     [-pareto] [-hypervolume]
+//
+// Workers join with:
+//
+//	dse -connect http://host:9090 [-worker-id ID] [-workers N]
+//
+// Leases carry deadlines: a worker that stops submitting results and
+// heartbeating has its remaining range reclaimed and reissued in
+// smaller pieces, and an idle worker steals the unfinished tail of a
+// straggler. Duplicated evaluation is harmless by construction —
+// every per-point seed derives from the sweep seed alone, so repeated
+// lines are byte-identical and dedupe on arrival; conflicting bytes
+// mean a drifted engine and are refused loudly.
+//
+// With -checkpoint, every accepted line is appended to a JSONL log as
+// it arrives; restarting dsed with -resume re-accepts the log (even
+// with a torn final line from a crash) and continues the sweep where
+// it stopped. On SIGINT/SIGTERM the coordinator flushes the
+// checkpoint and exits nonzero; the sweep resumes later. See
+// docs/dsed.md for the protocol and failure-mode reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpsockit/internal/coord"
+	"mpsockit/internal/dse"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address for the worker protocol")
+	sweepSpec := flag.String("sweep", "default", "sweep preset (smoke, default) or dimension list")
+	seed := flag.Uint64("seed", 1, "sweep seed; same seed + same sweep = identical output")
+	out := flag.String("out", "dse.jsonl", "final merged JSONL results file, written on completion")
+	checkpoint := flag.String("checkpoint", "", "append accepted result lines to this JSONL log as they arrive (crash protection)")
+	resume := flag.Bool("resume", false, "re-accept the -checkpoint log before serving (header must match)")
+	leaseTimeout := flag.Duration("lease-timeout", 30*time.Second, "deadline before an unacked lease is reclaimed and reissued")
+	chunks := flag.Int("chunks", 32, "target number of fresh leases the sweep is cut into")
+	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter on completion")
+	hypervolume := flag.Bool("hypervolume", false, "print the per-workload front hypervolume indicator on completion")
+	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := coord.New(coord.Config{
+		Spec:           *sweepSpec,
+		Seed:           *seed,
+		LeaseTimeout:   *leaseTimeout,
+		Chunks:         *chunks,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+		Log:            logger,
+		ProgressEvery:  50,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	st := srv.Status()
+	logger.Printf("dsed: coordinating %q seed %d (%d points, %d done) on %s",
+		*sweepSpec, *seed, st.Total, st.Done, ln.Addr())
+
+	select {
+	case <-srv.Done():
+	case <-ctx.Done():
+		// Interrupted: every acked line is already in the checkpoint;
+		// flush it and leave completion to a -resume restart.
+		httpSrv.Close()
+		if err := srv.Close(); err != nil {
+			fatal(err)
+		}
+		st := srv.Status()
+		if *checkpoint != "" {
+			logger.Printf("dsed: interrupted at %d/%d points; checkpoint flushed to %s (restart with -resume)",
+				st.Done, st.Total, *checkpoint)
+		} else {
+			logger.Printf("dsed: interrupted at %d/%d points; no -checkpoint, progress lost", st.Done, st.Total)
+		}
+		os.Exit(130)
+	}
+
+	// Linger briefly before closing the listener: workers that were
+	// idle-polling (rather than submitting the final batch) learn the
+	// sweep is done from their next /lease instead of a dead socket.
+	linger := *leaseTimeout / 4
+	if linger > 5*time.Second {
+		linger = 5 * time.Second
+	}
+	if linger < time.Second {
+		linger = time.Second
+	}
+	time.Sleep(linger)
+	httpSrv.Close()
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.WriteFinal(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	st = srv.Status()
+	logger.Printf("dsed: sweep complete -> %s (%d points, %d duplicate lines absorbed, %d workers)",
+		*out, st.Done, st.Duplicates, st.Workers)
+	if *pareto || *hypervolume {
+		results := srv.Results()
+		if *pareto {
+			front := dse.GroupedFront(results)
+			fmt.Print(dse.FrontTable(results, front))
+			fmt.Print(dse.Scatter(results, front, 72, 24))
+		}
+		if *hypervolume {
+			fmt.Print(dse.HVTable(dse.Hypervolumes(results), false))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsed:", err)
+	os.Exit(1)
+}

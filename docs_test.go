@@ -103,11 +103,11 @@ func TestDocsGoSnippets(t *testing.T) {
 
 // TestExportedComments enforces revive's `exported` rule on the
 // packages the exploration docs describe: every exported top-level
-// declaration and method in internal/dse and internal/mapping needs
-// a doc comment (grouped const/var/type specs may inherit the
-// group's comment, as revive allows).
+// declaration and method in internal/dse, internal/mapping and the
+// coordinator packages needs a doc comment (grouped const/var/type
+// specs may inherit the group's comment, as revive allows).
 func TestExportedComments(t *testing.T) {
-	for _, dir := range []string{"internal/dse", "internal/mapping"} {
+	for _, dir := range []string{"internal/dse", "internal/mapping", "internal/coord", "internal/coord/chaos"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

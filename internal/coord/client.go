@@ -1,0 +1,460 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mpsockit/internal/dse"
+)
+
+// ErrConflict is returned when the coordinator rejects submitted
+// result bytes as conflicting with an already-accepted line. This is
+// never a transient fault — it means this worker's engine produces
+// different bytes than the fleet's, and retrying would resubmit the
+// same poison — so the worker stops instead of backing off.
+var ErrConflict = errors.New("coord: coordinator rejected results as conflicting")
+
+// WorkerConfig parameterizes a sweep worker.
+type WorkerConfig struct {
+	// URL is the coordinator's base URL, e.g. http://host:9090.
+	URL string
+	// ID is the worker's identity; it seeds the backoff jitter and
+	// names the local fallback checkpoint. Defaults to host:pid.
+	ID string
+	// FlushPoints is how many completed points accumulate before a
+	// partial submit, bounding work lost to a worker crash. Default 8.
+	FlushPoints int
+	// Client is the HTTP client; nil means http.DefaultClient. Chaos
+	// tests inject a fault-wrapped transport here.
+	Client *http.Client
+	// Log receives progress lines; nil discards them.
+	Log *log.Logger
+	// CheckpointDir, when non-empty, is where the worker saves a
+	// shard-form checkpoint of a finished lease it could not deliver
+	// because the coordinator vanished. Rejoining resubmits and
+	// removes it.
+	CheckpointDir string
+	// MaxAttempts bounds consecutive failed attempts of any one
+	// request before the worker gives up on the coordinator (0 means
+	// 10). Between attempts the worker sleeps the backoff schedule.
+	MaxAttempts int
+	// Backoff bounds the retry delays; zero values default to
+	// 50ms..2s.
+	BackoffBase, BackoffMax time.Duration
+	// OnResult, when non-nil, observes every locally evaluated result
+	// before submission. Chaos tests use it to kill a worker
+	// mid-lease (by cancelling the worker's context).
+	OnResult func(dse.Result)
+	// Workers sizes the evaluation pool; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Worker evaluates leased point ranges against a coordinator until
+// the sweep completes, the context is cancelled, or the coordinator
+// stays unreachable past the retry budget.
+type Worker struct {
+	cfg     WorkerConfig
+	client  *http.Client
+	log     *log.Logger
+	backoff *Backoff
+	header  dse.Header
+	points  []dse.Point
+	hbEvery time.Duration
+	// done is set when a result ack reports sweep completion, so the
+	// worker exits without needing one more /lease round trip (the
+	// coordinator may already be shutting down by then).
+	done bool
+
+	// Submitted and Duplicate tally the coordinator's acks, exposed
+	// for tests and exit logs.
+	Submitted, Duplicate int
+}
+
+// NewWorker builds a worker for the given coordinator.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.FlushPoints <= 0 {
+		cfg.FlushPoints = 8
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 10
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	return &Worker{
+		cfg:     cfg,
+		client:  cfg.Client,
+		log:     cfg.Log,
+		backoff: NewBackoff(cfg.BackoffBase, cfg.BackoffMax, h.Sum64()),
+	}
+}
+
+// Run joins the coordinator and works leases until the sweep is done.
+// It returns nil on sweep completion, ctx.Err() on cancellation, and
+// an error when the coordinator is unreachable past the retry budget
+// or rejects this worker's results as conflicting.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.hello(ctx); err != nil {
+		return err
+	}
+	if err := w.resubmitCheckpoints(ctx); err != nil {
+		return err
+	}
+	for {
+		if w.done {
+			w.log.Printf("%s: sweep complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
+			return nil
+		}
+		var lr LeaseResponse
+		if err := w.call(ctx, "/lease", LeaseRequest{Worker: w.cfg.ID}, &lr); err != nil {
+			return err
+		}
+		switch {
+		case lr.Done:
+			w.log.Printf("%s: sweep complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
+			return nil
+		case lr.Lease == nil:
+			delay := time.Duration(lr.RetryMS) * time.Millisecond
+			if delay <= 0 {
+				delay = 200 * time.Millisecond
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
+				return err
+			}
+		default:
+			if err := w.workLease(ctx, *lr.Lease); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// hello verifies the worker and coordinator agree on the sweep. The
+// worker re-expands the spec locally and compares the point-list hash
+// against the coordinator's header: a drifted engine is refused here,
+// before it can submit a single conflicting line.
+func (w *Worker) hello(ctx context.Context) error {
+	var hr HelloResponse
+	if err := w.call(ctx, "/hello", HelloRequest{Worker: w.cfg.ID}, &hr); err != nil {
+		return err
+	}
+	sw, err := dse.ParseSweep(hr.Header.Spec, hr.Header.Seed)
+	if err != nil {
+		return fmt.Errorf("coord: coordinator sweep spec: %w", err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		return err
+	}
+	local := dse.NewHeader(hr.Header.Spec, hr.Header.Seed, points, nil)
+	if local.SpecHash != hr.Header.SpecHash {
+		return fmt.Errorf("coord: spec hash mismatch (coordinator %s, local %s): engine drift, refusing to join",
+			hr.Header.SpecHash, local.SpecHash)
+	}
+	w.header = hr.Header
+	w.points = points
+	w.hbEvery = time.Duration(hr.HeartbeatMS) * time.Millisecond
+	if w.hbEvery <= 0 {
+		w.hbEvery = time.Second
+	}
+	w.log.Printf("%s: joined sweep %q seed %d (%d points)", w.cfg.ID, w.header.Spec, w.header.Seed, len(points))
+	return nil
+}
+
+// workLease evaluates the leased range, submitting partial batches
+// every FlushPoints completed points and heartbeating in the
+// background. If the coordinator vanishes mid-lease the worker
+// finishes evaluating, checkpoints the undelivered lines locally, and
+// returns the transport error so the caller can rejoin later.
+func (w *Worker) workLease(ctx context.Context, l Lease) error {
+	w.log.Printf("%s: lease %d [%d,%d)", w.cfg.ID, l.ID, l.Lo, l.Hi)
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, l.ID)
+
+	var pending bytes.Buffer
+	pendingPoints := 0
+	flush := func() error {
+		if pendingPoints == 0 {
+			return nil
+		}
+		if err := w.submit(ctx, l.ID, pending.Bytes()); err != nil {
+			return err
+		}
+		pending.Reset()
+		pendingPoints = 0
+		return nil
+	}
+
+	var evalErr error
+	eng := dse.Engine{
+		Workers: w.cfg.Workers,
+		// OnResult runs on the engine's collector goroutine, in point
+		// order — so pending accumulates the exact bytes a standalone
+		// run would write for this range.
+		OnResult: func(r dse.Result) {
+			if w.cfg.OnResult != nil {
+				w.cfg.OnResult(r)
+			}
+			if err := dse.WriteResult(&pending, r); err != nil && evalErr == nil {
+				evalErr = err
+				return
+			}
+			pendingPoints++
+			if pendingPoints >= w.cfg.FlushPoints && evalErr == nil {
+				if err := flush(); err != nil {
+					// Keep evaluating: the lease is already paid for
+					// and the undelivered lines checkpoint locally
+					// below. Only remember the first delivery failure.
+					evalErr = err
+				}
+			}
+		},
+	}
+	eng.RunContext(ctx, w.points[l.Lo:l.Hi])
+	if evalErr == nil {
+		evalErr = flush()
+	}
+	if evalErr != nil {
+		if errors.Is(evalErr, ErrConflict) || ctx.Err() != nil {
+			return evalErr
+		}
+		// Coordinator vanished: save what we could not deliver in
+		// shard-file form and surface the error.
+		if err := w.checkpointLocal(l, pending.Bytes()); err != nil {
+			w.log.Printf("%s: local checkpoint failed: %v", w.cfg.ID, err)
+		}
+		return evalErr
+	}
+	return nil
+}
+
+// heartbeatLoop keeps the lease alive while evaluation runs. Failures
+// are ignored: a missed heartbeat at worst gets the range reissued,
+// and duplicated evaluation is harmless by construction.
+func (w *Worker) heartbeatLoop(ctx context.Context, leaseID int64) {
+	t := time.NewTicker(w.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var hr HeartbeatResponse
+			_ = w.callOnce(ctx, "/heartbeat", HeartbeatRequest{Worker: w.cfg.ID, Lease: leaseID}, &hr)
+		}
+	}
+}
+
+// submit posts a JSONL batch, retrying transient failures with
+// backoff. A 409 (conflict) maps to ErrConflict and is not retried.
+func (w *Worker) submit(ctx context.Context, leaseID int64, lines []byte) error {
+	url := fmt.Sprintf("%s/results?worker=%s&lease=%d", w.cfg.URL, w.cfg.ID, leaseID)
+	var lastErr error
+	w.backoff.Reset()
+	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(lines))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/jsonl")
+		resp, err := w.client.Do(req)
+		if err == nil {
+			ack, aerr := decodeAck(resp)
+			if aerr == nil {
+				w.Submitted += ack.Accepted
+				w.Duplicate += ack.Duplicates
+				if ack.Done {
+					w.done = true
+				}
+				return nil
+			}
+			if errors.Is(aerr, ErrConflict) {
+				return aerr
+			}
+			err = aerr
+		}
+		lastErr = err
+		if serr := sleepCtx(ctx, w.backoff.Next()); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("coord: submitting results after %d attempts: %w", w.cfg.MaxAttempts, lastErr)
+}
+
+// decodeAck reads a /results response, mapping HTTP status to error
+// class.
+func decodeAck(resp *http.Response) (ResultAck, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ResultAck{}, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		return ResultAck{}, fmt.Errorf("%w: %s", ErrConflict, bytes.TrimSpace(body))
+	case resp.StatusCode != http.StatusOK:
+		return ResultAck{}, fmt.Errorf("coord: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var ack ResultAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		return ResultAck{}, fmt.Errorf("coord: decoding ack: %w", err)
+	}
+	return ack, nil
+}
+
+// call posts a JSON request and decodes a JSON response, retrying
+// transient failures with the worker's backoff schedule.
+func (w *Worker) call(ctx context.Context, path string, in, out any) error {
+	var lastErr error
+	w.backoff.Reset()
+	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = w.callOnce(ctx, path, in, out)
+		if lastErr == nil {
+			return nil
+		}
+		if serr := sleepCtx(ctx, w.backoff.Next()); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("coord: %s after %d attempts: %w", path, w.cfg.MaxAttempts, lastErr)
+}
+
+// callOnce is a single JSON request/response round trip.
+func (w *Worker) callOnce(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.URL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coord: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// checkpointLocal saves undelivered result lines as a shard file so a
+// later rejoin (this process or a fresh one pointed at the same
+// directory) can resubmit them without re-evaluating.
+func (w *Worker) checkpointLocal(l Lease, lines []byte) error {
+	if w.cfg.CheckpointDir == "" || len(lines) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(w.cfg.CheckpointDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(w.cfg.CheckpointDir, fmt.Sprintf("%s-lease%d.jsonl", w.cfg.ID, l.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	h := w.header
+	h.Shard = &dse.Shard{Index: 0, Count: 1, Lo: l.Lo, Hi: l.Hi}
+	if err := dse.WriteHeader(f, h); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(lines); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	w.log.Printf("%s: checkpointed undelivered lease %d to %s", w.cfg.ID, l.ID, path)
+	return nil
+}
+
+// resubmitCheckpoints replays any locally checkpointed lease files
+// from an earlier run whose delivery failed, deleting each once the
+// coordinator acks it.
+func (w *Worker) resubmitCheckpoints(ctx context.Context) error {
+	if w.cfg.CheckpointDir == "" {
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(w.cfg.CheckpointDir, w.cfg.ID+"-lease*.jsonl"))
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		sf, err := dse.ReadShardFile(path)
+		if err != nil {
+			w.log.Printf("%s: skipping bad checkpoint %s: %v", w.cfg.ID, path, err)
+			continue
+		}
+		if sf.Header.SpecHash != w.header.SpecHash {
+			w.log.Printf("%s: skipping checkpoint %s from a different sweep (spec hash %s)", w.cfg.ID, path, sf.Header.SpecHash)
+			continue
+		}
+		var lines bytes.Buffer
+		for _, r := range sf.Results {
+			if err := dse.WriteResult(&lines, r); err != nil {
+				return err
+			}
+		}
+		if err := w.submit(ctx, 0, lines.Bytes()); err != nil {
+			return err
+		}
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		w.log.Printf("%s: resubmitted %d checkpointed result(s) from %s", w.cfg.ID, len(sf.Results), path)
+	}
+	return nil
+}
+
+// sleepCtx waits for the delay or the context, whichever ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,155 @@
+// Package coord is the fault-tolerant sweep coordinator: a
+// long-running HTTP/JSONL service (cmd/dsed) that expands a sweep
+// once, hands out contiguous point-ID leases to workers
+// (cmd/dse -connect), and accumulates streamed result lines back into
+// a file byte-identical to a fault-free single-worker run.
+//
+// Robustness rests entirely on the determinism contract the dse
+// package already enforces: every per-point seed derives from the
+// sweep seed alone, result lines are byte-reproducible wherever they
+// are evaluated, and the Accumulator validates each line against the
+// locally re-expanded point list, dropping byte-identical duplicates
+// and refusing conflicts. Given that, every failure mode reduces to
+// "evaluate the range again somewhere": a worker that dies simply
+// never acks, its lease deadline passes, and the uncovered range is
+// reissued (shrunk, so a straggling range spreads across the fleet);
+// a worker that was merely slow acks late and its lines land as
+// duplicates; a duplicated or replayed network request is absorbed
+// the same way. The coordinator checkpoints accepted lines to an
+// append-only JSONL log, so its own crash loses nothing that was
+// acked; workers retry transient failures with deterministic jittered
+// backoff (Backoff) and, when the coordinator vanishes entirely,
+// finish the current lease, checkpoint it locally in shard-file form,
+// and rejoin.
+//
+// # Protocol
+//
+// Workers are the HTTP clients (the uPIMulator subprocess-RPC pattern
+// inverted). All requests and responses are JSON except result
+// submission, whose body is the raw JSONL result lines — the same
+// bytes a standalone run would write, which is what makes merged
+// output byte-identical.
+//
+//	POST /hello      HelloRequest  -> HelloResponse   (sweep identity)
+//	POST /lease      LeaseRequest  -> LeaseResponse   (work assignment)
+//	POST /results    JSONL lines   -> ResultAck       (?worker=&lease=)
+//	POST /heartbeat  HeartbeatRequest -> HeartbeatResponse
+//	GET  /status                   -> Status
+package coord
+
+import "mpsockit/internal/dse"
+
+// HelloRequest announces a worker to the coordinator.
+type HelloRequest struct {
+	// Worker is the worker's self-chosen identity, used for lease
+	// accounting and logs.
+	Worker string `json:"worker"`
+}
+
+// HelloResponse hands the worker everything needed to evaluate
+// points: the sweep header. The worker re-parses the spec and
+// re-expands the point list locally, then verifies its hash against
+// Header.SpecHash — an engine-drifted worker refuses to participate
+// instead of poisoning the sweep with conflicting bytes.
+type HelloResponse struct {
+	// Header is the sweep's provenance record, identical to the first
+	// line of the output file.
+	Header dse.Header `json:"header"`
+	// HeartbeatMS is how often the coordinator expects a heartbeat
+	// while a lease is held (a fraction of the lease timeout).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// LeaseRequest asks for a work assignment.
+type LeaseRequest struct {
+	// Worker is the requesting worker's identity.
+	Worker string `json:"worker"`
+}
+
+// Lease is one work assignment: a contiguous point-ID range plus the
+// deadline discipline. Leases are not exclusive grants in the
+// correctness sense — the determinism contract makes double
+// evaluation harmless — they are a scheduling tool bounding how long
+// a range can sit on a dead or straggling worker.
+type Lease struct {
+	// ID identifies the lease for heartbeats and acks.
+	ID int64 `json:"id"`
+	// Lo is the first point ID of the range (inclusive).
+	Lo int `json:"lo"`
+	// Hi is one past the last point ID (exclusive).
+	Hi int `json:"hi"`
+	// DeadlineMS is the lease duration in milliseconds: the worker
+	// must submit results or heartbeat within it, or the range is
+	// reclaimed and reissued.
+	DeadlineMS int64 `json:"deadline_ms"`
+}
+
+// Len returns the number of points the lease covers.
+func (l Lease) Len() int { return l.Hi - l.Lo }
+
+// LeaseResponse carries a lease, a complete-sweep signal, or a
+// back-off hint when all remaining work is currently leased out.
+type LeaseResponse struct {
+	// Lease is the granted assignment; nil when Done or RetryMS is
+	// set instead.
+	Lease *Lease `json:"lease,omitempty"`
+	// Done reports that every point has an accepted result; the
+	// worker should exit.
+	Done bool `json:"done,omitempty"`
+	// RetryMS asks the worker to poll again after this many
+	// milliseconds.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+}
+
+// ResultAck acknowledges a batch of submitted result lines.
+type ResultAck struct {
+	// Accepted counts lines that were new.
+	Accepted int `json:"accepted"`
+	// Duplicates counts byte-identical lines the coordinator already
+	// had — the normal aftermath of a reissued lease or a replayed
+	// request, not an error.
+	Duplicates int `json:"duplicates"`
+	// Done reports that the sweep is now complete.
+	Done bool `json:"done,omitempty"`
+}
+
+// HeartbeatRequest extends a lease's deadline.
+type HeartbeatRequest struct {
+	// Worker is the heartbeating worker's identity.
+	Worker string `json:"worker"`
+	// Lease is the lease being kept alive.
+	Lease int64 `json:"lease"`
+}
+
+// HeartbeatResponse reports whether the lease was still live. An
+// invalid lease is not fatal for the worker: its range was reclaimed
+// (and possibly reissued), but finishing and submitting anyway is
+// safe — the lines land as duplicates or fill still-missing points.
+type HeartbeatResponse struct {
+	// Valid is false when the lease had already expired or closed.
+	Valid bool `json:"valid"`
+}
+
+// Status is the coordinator's observable progress snapshot.
+type Status struct {
+	// Spec and Seed identify the sweep being coordinated.
+	Spec string `json:"spec"`
+	// Seed is the sweep seed.
+	Seed uint64 `json:"seed"`
+	// Done counts points with an accepted result.
+	Done int `json:"done"`
+	// Total is the sweep's point count.
+	Total int `json:"total"`
+	// Duplicates counts byte-identical duplicate lines absorbed so
+	// far (retries, reissues, replays).
+	Duplicates int `json:"duplicates"`
+	// ActiveLeases counts currently outstanding leases.
+	ActiveLeases int `json:"active_leases"`
+	// PendingPoints counts points neither done nor covered by an
+	// active lease.
+	PendingPoints int `json:"pending_points"`
+	// Workers counts distinct worker identities seen.
+	Workers int `json:"workers"`
+	// Complete mirrors Done == Total.
+	Complete bool `json:"complete"`
+}

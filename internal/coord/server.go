@@ -1,0 +1,418 @@
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"mpsockit/internal/dse"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Spec is the sweep specification (preset or dimension list).
+	Spec string
+	// Seed is the sweep seed; the whole determinism contract hangs
+	// off it.
+	Seed uint64
+	// LeaseTimeout bounds how long a lease can go without results or
+	// a heartbeat before its range is reclaimed. Default 30s.
+	LeaseTimeout time.Duration
+	// Chunks is the target number of fresh leases the sweep is cut
+	// into (grant size = total estimated cost / Chunks; reissues
+	// shrink from there). Default 32.
+	Chunks int
+	// CheckpointPath, when non-empty, is the append-only JSONL log of
+	// accepted result lines: header first, then lines in acceptance
+	// order. A coordinator restarted with Resume re-accepts it and
+	// continues; only unacked work is lost to a coordinator crash.
+	CheckpointPath string
+	// Resume loads CheckpointPath instead of truncating it.
+	Resume bool
+	// Now supplies the clock; nil means time.Now. Tests inject a fake
+	// clock to drive lease expiry deterministically.
+	Now func() time.Time
+	// Log receives progress lines; nil discards them.
+	Log *log.Logger
+	// ProgressEvery, when > 0, logs a live per-workload Pareto-front
+	// and hypervolume snapshot each time that many further points
+	// complete.
+	ProgressEvery int
+}
+
+// Server coordinates one sweep: it owns the expanded point list, the
+// lease table and the result accumulator, and serves the worker
+// protocol over HTTP. All state shares one mutex — the work units are
+// whole simulation runs on the workers, so coordination is never the
+// bottleneck.
+type Server struct {
+	cfg    Config
+	points []dse.Point
+	header dse.Header
+	costs  []float64
+
+	mu        sync.Mutex
+	acc       *dse.Accumulator
+	table     *leaseTable
+	workers   map[string]bool
+	ckptFile  *os.File
+	ckpt      *bufio.Writer
+	done      chan struct{}
+	closeOnce sync.Once
+	frontAt   int
+}
+
+// New expands the sweep, optionally re-accepts an existing
+// checkpoint, and returns a coordinator ready to serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 30 * time.Second
+	}
+	if cfg.Chunks <= 0 {
+		cfg.Chunks = 32
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	sw, err := dse.ParseSweep(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	points, err := sw.Points()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		points:  points,
+		header:  dse.NewHeader(cfg.Spec, cfg.Seed, points, nil),
+		costs:   make([]float64, len(points)),
+		acc:     dse.NewAccumulator(points),
+		workers: make(map[string]bool),
+		done:    make(chan struct{}),
+	}
+	total := 0.0
+	for i, p := range points {
+		s.costs[i] = dse.EstCost(p)
+		total += s.costs[i]
+	}
+	s.table = newLeaseTable(s.costs, total/float64(cfg.Chunks), cfg.LeaseTimeout, s.acc.Has)
+	if cfg.CheckpointPath != "" && cfg.Resume {
+		results, raw, err := dse.ReadResultLog(cfg.CheckpointPath, s.header)
+		if err != nil {
+			return nil, fmt.Errorf("coord: resume: %w", err)
+		}
+		for i := range results {
+			if _, err := s.acc.AddResult(results[i], raw[i]); err != nil {
+				return nil, fmt.Errorf("coord: resume %s: %w", cfg.CheckpointPath, err)
+			}
+		}
+		if len(results) > 0 {
+			cfg.Log.Printf("coord: resumed %d/%d points from %s", s.acc.Done(), len(points), cfg.CheckpointPath)
+		}
+	}
+	s.table.uncovered(0, len(points), 0)
+	if cfg.CheckpointPath != "" {
+		// (Re)write the log cleanly: a salvaged torn tail must not
+		// remain in a file we are about to append to.
+		f, err := os.Create(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		s.ckptFile = f
+		s.ckpt = bufio.NewWriter(f)
+		if err := dse.WriteHeader(s.ckpt, s.header); err != nil {
+			return nil, err
+		}
+		for _, r := range s.acc.Completed() {
+			if err := s.appendCheckpointLocked(r.Point.ID); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.ckpt.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if s.acc.Complete() {
+		s.finishLocked()
+	}
+	return s, nil
+}
+
+// appendCheckpointLocked writes the accepted line for point id to the
+// checkpoint log.
+func (s *Server) appendCheckpointLocked(id int) error {
+	if s.ckpt == nil {
+		return nil
+	}
+	line := s.acc.Raw(id)
+	if line == nil {
+		return fmt.Errorf("coord: no accepted line for point %d", id)
+	}
+	if _, err := s.ckpt.Write(line); err != nil {
+		return err
+	}
+	_, err := s.ckpt.Write([]byte{'\n'})
+	return err
+}
+
+// finishLocked flushes the checkpoint and signals completion once.
+func (s *Server) finishLocked() {
+	s.closeOnce.Do(func() {
+		if s.ckpt != nil {
+			s.ckpt.Flush()
+		}
+		close(s.done)
+	})
+}
+
+// Done is closed when every point has an accepted result.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Header returns the sweep's provenance header (the merged file's
+// first line).
+func (s *Server) Header() dse.Header { return s.header }
+
+// Points returns the expanded point list the coordinator validates
+// results against.
+func (s *Server) Points() []dse.Point { return s.points }
+
+// Results returns the accepted results in point-ID order (all of
+// them once Done is closed) — the input for front and hypervolume
+// reports.
+func (s *Server) Results() []dse.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc.Completed()
+}
+
+// Close flushes and closes the checkpoint log.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ckpt == nil {
+		return nil
+	}
+	if err := s.ckpt.Flush(); err != nil {
+		return err
+	}
+	return s.ckptFile.Close()
+}
+
+// WriteFinal streams the completed sweep — byte-identical to a
+// fault-free single-worker run — to w. It fails if points are still
+// missing.
+func (s *Server) WriteFinal(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.acc.Complete() {
+		missing, first := s.acc.Missing()
+		return fmt.Errorf("coord: sweep incomplete: %d of %d points missing (first ID %d)", missing, len(s.points), first)
+	}
+	_, err := s.acc.WriteTo(w, s.header)
+	return err
+}
+
+// Status returns a progress snapshot.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.table.reclaim(s.cfg.Now())
+	return Status{
+		Spec:          s.header.Spec,
+		Seed:          s.header.Seed,
+		Done:          s.acc.Done(),
+		Total:         s.acc.Total(),
+		Duplicates:    s.acc.Duplicates(),
+		ActiveLeases:  len(s.table.active),
+		PendingPoints: s.table.pendingPoints(),
+		Workers:       len(s.workers),
+		Complete:      s.acc.Complete(),
+	}
+}
+
+// Handler returns the coordinator's HTTP handler (the worker
+// protocol plus /status).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /hello", s.handleHello)
+	mux.HandleFunc("POST /lease", s.handleLease)
+	mux.HandleFunc("POST /results", s.handleResults)
+	mux.HandleFunc("POST /heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	return mux
+}
+
+// writeJSON responds with one JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes the request body into v.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		http.Error(w, "coord: bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHello(w http.ResponseWriter, r *http.Request) {
+	var req HelloRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	s.workers[req.Worker] = true
+	s.mu.Unlock()
+	s.cfg.Log.Printf("coord: hello from %s", req.Worker)
+	writeJSON(w, HelloResponse{
+		Header:      s.header,
+		HeartbeatMS: (s.cfg.LeaseTimeout / 4).Milliseconds(),
+	})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workers[req.Worker] = true
+	if n := s.table.reclaim(now); n > 0 {
+		s.cfg.Log.Printf("coord: reclaimed %d expired lease(s)", n)
+	}
+	s.table.closeCovered()
+	if s.acc.Complete() {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	l := s.table.grant(req.Worker, now)
+	if l == nil {
+		retry := s.cfg.LeaseTimeout / 8
+		if retry < 50*time.Millisecond {
+			retry = 50 * time.Millisecond
+		}
+		writeJSON(w, LeaseResponse{RetryMS: retry.Milliseconds()})
+		return
+	}
+	s.cfg.Log.Printf("coord: lease %d [%d,%d) -> %s (reissue %d)", l.id, l.lo, l.hi, req.Worker, l.issues)
+	writeJSON(w, LeaseResponse{Lease: &Lease{
+		ID:         l.id,
+		Lo:         l.lo,
+		Hi:         l.hi,
+		DeadlineMS: s.cfg.LeaseTimeout.Milliseconds(),
+	}})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	valid := s.table.heartbeat(req.Lease, s.cfg.Now())
+	s.mu.Unlock()
+	writeJSON(w, HeartbeatResponse{Valid: valid})
+}
+
+// handleResults accepts a JSONL batch of result lines. Acceptance is
+// idempotent line-by-line; a conflicting line (bytes disagreeing with
+// an accepted result for the same point) rejects the whole request
+// with 409 — that is never a retry artifact, it means an engine
+// drifted.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "coord: reading results: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	leaseID, _ := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ack := ResultAck{}
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		added, err := s.acc.Add(line)
+		if err != nil {
+			http.Error(w, "coord: "+err.Error(), http.StatusConflict)
+			return
+		}
+		if !added {
+			ack.Duplicates++
+			continue
+		}
+		ack.Accepted++
+		if err := s.appendCheckpointLocked(lastPointID(line)); err != nil {
+			http.Error(w, "coord: checkpoint: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	if s.ckpt != nil {
+		if err := s.ckpt.Flush(); err != nil {
+			http.Error(w, "coord: checkpoint: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.table.closeCovered()
+	s.logProgressLocked()
+	if s.acc.Complete() {
+		ack.Done = true
+		s.cfg.Log.Printf("coord: sweep complete: %d points (%d duplicate lines absorbed)", s.acc.Total(), s.acc.Duplicates())
+		s.finishLocked()
+	}
+	_ = worker
+	_ = leaseID
+	writeJSON(w, ack)
+}
+
+// lastPointID extracts the point ID from an accepted line. The line
+// already passed Accumulator validation, so decoding cannot fail.
+func lastPointID(line []byte) int {
+	var r dse.Result
+	_ = json.Unmarshal(line, &r)
+	return r.Point.ID
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+// logProgressLocked emits the live per-workload front snapshot every
+// ProgressEvery accepted points: merge is incremental, so the Pareto
+// fronts and hypervolumes of the completed subset are available the
+// whole time the sweep runs.
+func (s *Server) logProgressLocked() {
+	if s.cfg.ProgressEvery <= 0 || s.acc.Done() < s.frontAt+s.cfg.ProgressEvery {
+		return
+	}
+	s.frontAt = s.acc.Done()
+	completed := s.acc.Completed()
+	front := dse.GroupedFront(completed)
+	var hv bytes.Buffer
+	for i, f := range dse.Hypervolumes(completed) {
+		if i > 0 {
+			hv.WriteString(" ")
+		}
+		fmt.Fprintf(&hv, "%s=%.3f", f.Workload, f.Norm)
+	}
+	s.cfg.Log.Printf("coord: live %d/%d points, front %d, hv-norm %s",
+		s.acc.Done(), s.acc.Total(), len(front), hv.String())
+}

@@ -80,6 +80,7 @@
 package dse
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"sync"
@@ -247,6 +248,17 @@ type Engine struct {
 
 // Run evaluates every point and returns the results in input order.
 func (e *Engine) Run(points []Point) []Result {
+	return e.RunContext(context.Background(), points)
+}
+
+// RunContext evaluates points until the context is cancelled. In-flight
+// evaluations finish (a design point is never torn mid-evaluation); no
+// new points are dispatched after cancellation. The returned slice is
+// the completed contiguous prefix — exactly the results that were
+// released to OnResult — so a caller writing JSONL has a clean cut
+// point: flushing what OnResult saw yields a valid resumable
+// checkpoint with no torn trailing line.
+func (e *Engine) RunContext(ctx context.Context, points []Point) []Result {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -275,13 +287,15 @@ func (e *Engine) Run(points []Point) []Result {
 			}
 		}()
 	}
-	// Collector: release results to OnResult in point order.
+	// Collector: release results to OnResult in point order. next is
+	// read after collWG.Wait, which orders the access after the
+	// collector's final write.
 	var collWG sync.WaitGroup
 	collWG.Add(1)
+	next := 0
 	go func() {
 		defer collWG.Done()
 		ready := make(map[int]bool, workers)
-		next := 0
 		for idx := range completed {
 			ready[idx] = true
 			for ready[next] {
@@ -293,12 +307,17 @@ func (e *Engine) Run(points []Point) []Result {
 			}
 		}
 	}()
+dispatch:
 	for i := range points {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	close(completed)
 	collWG.Wait()
-	return results
+	return results[:next]
 }

@@ -2,7 +2,6 @@ package dse
 
 import (
 	"bufio"
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -151,12 +150,107 @@ func MatchPrefix(points []Point, results []Result) []Result {
 	return results[:n]
 }
 
-// newScanner sizes a line scanner for JSONL result files.
-func newScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	return sc
+// MaxLineBytes caps one JSONL line (header or result). Real result
+// lines are a few hundred bytes; the cap bounds memory when a crashed
+// or foreign writer leaves megabytes of garbage in a file — an
+// oversized line is consumed and discarded, never buffered whole.
+const MaxLineBytes = 1 << 22
+
+// readCappedLine reads one newline-delimited line from br, buffering
+// at most MaxLineBytes of it. It returns the line without its newline,
+// whether the cap was exceeded (the rest of the line is consumed and
+// dropped), and whether the file ended before a newline (a torn final
+// line — or clean EOF when the returned line is empty).
+func readCappedLine(br *bufio.Reader) (line []byte, tooLong, noNewline bool, err error) {
+	for {
+		frag, err := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, frag...)
+			if len(line) > MaxLineBytes {
+				tooLong, line = true, nil
+			}
+		}
+		switch err {
+		case nil:
+			if !tooLong {
+				line = line[:len(line)-1]
+			}
+			return line, tooLong, false, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return line, tooLong, true, nil
+		default:
+			return nil, false, false, err
+		}
+	}
 }
+
+// atEOF reports whether no bytes remain in br.
+func atEOF(br *bufio.Reader) bool {
+	_, err := br.Peek(1)
+	return err == io.EOF
+}
+
+// scanResults reads the result lines following a header with
+// defensive corruption handling. A line that is oversized or fails to
+// decode is salvageable only when it is the file's last line (a crash
+// mid-append tears exactly the tail); the same damage mid-file means
+// the file did not come from an append-only writer crashing — it is
+// corrupt — and strict callers (shard merge) treat even a torn tail
+// as damage, because a shard offered for merging claims completeness.
+func scanResults(br *bufio.Reader, strict bool, path string) (results []Result, raw [][]byte, err error) {
+	lineNo := 1 // the header was line 1
+	for {
+		lineNo++
+		line, tooLong, noNewline, err := readCappedLine(br)
+		if err != nil {
+			return nil, nil, err
+		}
+		if noNewline && len(line) == 0 && !tooLong {
+			return results, raw, nil // clean EOF
+		}
+		var res Result
+		reason := ""
+		if tooLong {
+			reason = fmt.Sprintf("exceeds the %d MiB line cap", MaxLineBytes>>20)
+		} else if jsonErr := json.Unmarshal(line, &res); jsonErr != nil {
+			reason = jsonErr.Error()
+		}
+		if reason != "" {
+			trailing := noNewline || atEOF(br)
+			if strict {
+				return nil, nil, fmt.Errorf("dse: %s line %d is malformed (torn write?): %s", path, lineNo, reason)
+			}
+			if !trailing {
+				return nil, nil, fmt.Errorf("dse: %s line %d is corrupt mid-file (%s); a crash only tears the final line — refusing to salvage, inspect or delete the file", path, lineNo, reason)
+			}
+			return results, raw, nil // torn tail: salvage the prefix
+		}
+		results = append(results, res)
+		raw = append(raw, append([]byte(nil), line...))
+	}
+}
+
+// readHeader reads and validates a file's first line as a Header.
+func readHeader(br *bufio.Reader, path, kind string) (Header, error) {
+	line, tooLong, noNewline, err := readCappedLine(br)
+	if err != nil {
+		return Header{}, err
+	}
+	if noNewline && len(line) == 0 && !tooLong {
+		return Header{}, errEmptyFile
+	}
+	h, ok := parseHeader(line)
+	if tooLong || !ok {
+		return Header{}, fmt.Errorf("dse: %s %s has no header line (pre-schema file or torn header)", kind, path)
+	}
+	return h, nil
+}
+
+// errEmptyFile marks a zero-byte results file; callers decide whether
+// that is an empty checkpoint (fine) or an unverifiable shard (error).
+var errEmptyFile = fmt.Errorf("dse: empty file")
 
 // LoadCheckpoint reads a JSONL results file and returns the prefix
 // that is valid for the sweep described by want (for a shard run,
@@ -166,47 +260,56 @@ func newScanner(r io.Reader) *bufio.Scanner {
 // spec, seed, schema version or shard range — is an error: resuming
 // it would silently throw the file away (or worse, mix sweeps), and
 // the caller should either fix the flags or delete the file.
-// Result parsing still stops at the first malformed line: a crash
-// mid-write leaves a torn final line, and everything from there on is
-// re-evaluated anyway.
+// A torn final line (crash mid-write) is salvaged — everything from
+// there on is re-evaluated anyway — but a malformed or oversized line
+// with valid data after it is corruption no crash produces, and fails
+// loudly instead of silently truncating the checkpoint there.
 func LoadCheckpoint(path string, want Header, points []Point) ([]Result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, err
-	}
-	defer f.Close()
-	sc := newScanner(f)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return nil, nil // empty file: empty checkpoint
-	}
-	h, ok := parseHeader(sc.Bytes())
-	if !ok {
-		return nil, fmt.Errorf("dse: checkpoint %s has no header line (pre-schema file or torn header); delete it or drop -resume", path)
-	}
-	if err := want.sameSweep(h); err != nil {
-		return nil, fmt.Errorf("dse: checkpoint %s is from a different sweep (%v); refusing to resume", path, err)
-	}
-	if !reflect.DeepEqual(h.Shard, want.Shard) {
-		return nil, fmt.Errorf("dse: checkpoint %s covers %v, not %v; refusing to resume", path, shardLabel(h.Shard), shardLabel(want.Shard))
-	}
-	var results []Result
-	for sc.Scan() {
-		var res Result
-		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
-			break
-		}
-		results = append(results, res)
-	}
-	if err := sc.Err(); err != nil {
+	results, _, err := readResultFile(path, want, "checkpoint")
+	if err != nil || results == nil {
 		return nil, err
 	}
 	return MatchPrefix(points, results), nil
+}
+
+// ReadResultLog reads an append-order JSONL results file — a
+// coordinator checkpoint, where accepted results land in arrival
+// order rather than point order — validating its header against want
+// exactly like LoadCheckpoint and salvaging a torn tail the same way.
+// It returns the decoded results alongside their original line bytes
+// (the coordinator re-emits those bytes, keeping merged output
+// byte-identical). A missing or empty file is an empty log.
+func ReadResultLog(path string, want Header) ([]Result, [][]byte, error) {
+	return readResultFile(path, want, "checkpoint")
+}
+
+// readResultFile is the shared loader behind LoadCheckpoint and
+// ReadResultLog: header-validated, torn-tail-salvaging, loud on
+// mid-file corruption.
+func readResultFile(path string, want Header, kind string) ([]Result, [][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	h, err := readHeader(br, path, kind)
+	if err == errEmptyFile {
+		return nil, nil, nil // empty file: empty checkpoint
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w; delete it or drop -resume", err)
+	}
+	if err := want.sameSweep(h); err != nil {
+		return nil, nil, fmt.Errorf("dse: %s %s is from a different sweep (%v); refusing to resume", kind, path, err)
+	}
+	if !reflect.DeepEqual(h.Shard, want.Shard) {
+		return nil, nil, fmt.Errorf("dse: %s %s covers %v, not %v; refusing to resume", kind, path, shardLabel(h.Shard), shardLabel(want.Shard))
+	}
+	return scanResults(br, false, path)
 }
 
 // shardLabel names a header's coverage for error messages.
@@ -236,35 +339,25 @@ type ShardFile struct {
 // Unlike checkpoint loading, a torn line is an error — a shard
 // offered for merging claims to be complete, and salvaging a prefix
 // here would silently drop points. A header-only file is a valid
-// empty shard (a sweep split into more shards than points produces
-// them).
+// empty shard (a worker whose whole lease was reclaimed and finished
+// elsewhere checkpoints one).
 func ReadShardFile(path string) (*ShardFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	sc := newScanner(f)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
+	br := bufio.NewReaderSize(f, 1<<16)
+	h, err := readHeader(br, path, "shard")
+	if err == errEmptyFile {
 		return nil, fmt.Errorf("dse: shard %s is empty (no header line)", path)
 	}
-	h, ok := parseHeader(sc.Bytes())
-	if !ok {
-		return nil, fmt.Errorf("dse: shard %s has no header line", path)
+	if err != nil {
+		return nil, err
 	}
 	sf := &ShardFile{Path: path, Header: h}
-	for sc.Scan() {
-		var res Result
-		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
-			return nil, fmt.Errorf("dse: shard %s line %d is malformed (torn write?): %w", path, len(sf.Results)+2, err)
-		}
-		sf.Results = append(sf.Results, res)
-		sf.raw = append(sf.raw, append([]byte(nil), sc.Bytes()...))
-	}
-	if err := sc.Err(); err != nil {
+	sf.Results, sf.raw, err = scanResults(br, true, "shard "+path)
+	if err != nil {
 		return nil, err
 	}
 	return sf, nil
@@ -333,47 +426,24 @@ func MergeShards(paths []string) (*Merged, error) {
 	}
 	m := &Merged{Header: h}
 	m.Header.Shard = nil
-	byID := make([][]byte, len(points))
-	results := make([]Result, len(points))
+	acc := NewAccumulator(points)
 	for _, sf := range files {
 		for i, r := range sf.Results {
-			id := r.Point.ID
-			if id < 0 || id >= len(points) {
-				return nil, fmt.Errorf("dse: shard %s carries point ID %d outside the sweep (0..%d)", sf.Path, id, len(points)-1)
+			if s := sf.Header.Shard; s != nil && (r.Point.ID < s.Lo || r.Point.ID >= s.Hi) {
+				return nil, fmt.Errorf("dse: shard %s carries point ID %d outside its declared range %v", sf.Path, r.Point.ID, *s)
 			}
-			if s := sf.Header.Shard; s != nil && (id < s.Lo || id >= s.Hi) {
-				return nil, fmt.Errorf("dse: shard %s carries point ID %d outside its declared range %v", sf.Path, id, *s)
-			}
-			if !reflect.DeepEqual(r.Point, points[id]) {
-				return nil, fmt.Errorf("dse: shard %s point %d does not match the spec expansion", sf.Path, id)
-			}
-			if prev := byID[id]; prev != nil {
-				if !bytes.Equal(prev, sf.raw[i]) {
-					return nil, fmt.Errorf("dse: point %d has conflicting results across shards (%s disagrees with an earlier shard)", id, sf.Path)
-				}
-				m.Duplicates++
-				continue
-			}
-			byID[id] = sf.raw[i]
-			results[id] = r
-		}
-	}
-	missing := 0
-	firstMissing := -1
-	for id, raw := range byID {
-		if raw == nil {
-			missing++
-			if firstMissing < 0 {
-				firstMissing = id
+			if _, err := acc.AddResult(r, sf.raw[i]); err != nil {
+				return nil, fmt.Errorf("shard %s: %w (conflicting shards?)", sf.Path, err)
 			}
 		}
 	}
-	if missing > 0 {
+	if missing, firstMissing := acc.Missing(); missing > 0 {
 		return nil, fmt.Errorf("dse: merge is missing %d of %d points (first missing ID %d) — is a shard file absent from the glob?",
 			missing, len(points), firstMissing)
 	}
-	m.Results = results
-	m.raw = byID
+	m.Duplicates = acc.Duplicates()
+	m.Results = acc.Results()
+	m.raw = acc.raw
 	return m, nil
 }
 

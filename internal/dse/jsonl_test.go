@@ -8,45 +8,48 @@ import (
 	"testing"
 )
 
-// onePointSpec expands to exactly one design point, so sharding it
-// 3 ways produces two header-only (empty) shard files.
+// onePointSpec expands to exactly one design point — small enough to
+// hand-craft empty (header-only) companion shard files around.
 const onePointSpec = "plat=homog2;wl=carradio"
 
 // TestMergeEmptyAndHeaderOnlyShards: a zero-byte shard file is a loud
-// error (its provenance is unverifiable), while a header-only file is
-// a legal empty shard and merges cleanly.
+// error (its provenance is unverifiable), while a header-only file —
+// as a worker whose whole lease range ended up evaluated elsewhere
+// checkpoints — is a legal empty shard and merges cleanly.
 func TestMergeEmptyAndHeaderOnlyShards(t *testing.T) {
 	dir := t.TempDir()
 	points := expandSweep(t, onePointSpec, 9)
 	if len(points) != 1 {
 		t.Fatalf("spec expands to %d points, want 1", len(points))
 	}
-	shards, err := PlanShards(points, 3)
+	full := Shard{Index: 0, Count: 2, Lo: 0, Hi: 1}
+	emptyShard := Shard{Index: 1, Count: 2, Lo: 1, Hi: 1}
+	paths := []string{
+		ShardPath(filepath.Join(dir, "s.jsonl"), 0),
+		ShardPath(filepath.Join(dir, "s.jsonl"), 1),
+	}
+	runShardFile(t, paths[0], onePointSpec, 9, &full, 1)
+	var hdr bytes.Buffer
+	if err := WriteHeader(&hdr, NewHeader(onePointSpec, 9, points, &emptyShard)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], hdr.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The empty shard is a single header line only.
+	data, err := os.ReadFile(paths[1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	var paths []string
-	for k := range shards {
-		path := ShardPath(filepath.Join(dir, "s.jsonl"), k)
-		runShardFile(t, path, onePointSpec, 9, &shards[k], 1)
-		paths = append(paths, path)
+	if n := bytes.Count(data, []byte("\n")); n != 1 {
+		t.Fatalf("empty shard %s has %d lines, want header only", paths[1], n)
 	}
-	// Shards 1 and 2 are empty: header line only.
-	for _, p := range paths[1:] {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if n := bytes.Count(data, []byte("\n")); n != 1 {
-			t.Fatalf("empty shard %s has %d lines, want header only", p, n)
-		}
-		sf, err := ReadShardFile(p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(sf.Results) != 0 {
-			t.Fatalf("header-only shard decoded %d results", len(sf.Results))
-		}
+	sf, err := ReadShardFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Results) != 0 {
+		t.Fatalf("header-only shard decoded %d results", len(sf.Results))
 	}
 	m, err := MergeShards(paths)
 	if err != nil {
@@ -206,5 +209,205 @@ func TestHashPoints(t *testing.T) {
 	}
 	if a == HashPoints(expandSweep(t, onePointSpec, 1)) {
 		t.Fatal("hash ignores the spec")
+	}
+}
+
+// buildCheckpoint writes a valid checkpoint for spec/seed — header
+// plus every result line — and returns its path, header, points and
+// the individual result lines.
+func buildCheckpoint(t *testing.T, dir, spec string, seed uint64) (string, Header, []Point, [][]byte) {
+	t.Helper()
+	points := expandSweep(t, spec, seed)
+	header := NewHeader(spec, seed, points, nil)
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, header); err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Workers: 2, OnResult: func(r Result) {
+		if err := WriteResult(&buf, r); err != nil {
+			t.Error(err)
+		}
+	}}
+	eng.Run(points)
+	path := filepath.Join(dir, "ckpt.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var lines [][]byte
+	for _, l := range bytes.SplitAfter(buf.Bytes(), []byte("\n")) {
+		if len(l) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return path, header, points, lines
+}
+
+// TestCheckpointTornTailSalvage: trailing damage of every shape — a
+// torn JSON fragment, truncated UTF-8 mid-rune, and a multi-megabyte
+// junk tail far beyond the line cap — salvages the valid prefix
+// instead of erroring or buffering the garbage.
+func TestCheckpointTornTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	path, header, points, lines := buildCheckpoint(t, dir, "plat=homog2,homog4;wl=carradio,jpeg", 5)
+	keep := len(lines) - 2 // header + first result
+	prefix := bytes.Join(lines[:keep], nil)
+	for name, tail := range map[string][]byte{
+		"torn-json":      []byte(`{"point":{"id`),
+		"torn-utf8":      append([]byte(`{"err":"`), 0xE2, 0x82), // € cut after 2 of 3 bytes
+		"newline-junk":   []byte("not json at all\n"),
+		"huge-junk-tail": bytes.Repeat([]byte{0xFF}, (1<<20)+4096),
+		"oversized-line": append(bytes.Repeat([]byte{'x'}, MaxLineBytes+2), '\n'),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte(nil), prefix...), tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, err := LoadCheckpoint(path, header, points)
+			if err != nil {
+				t.Fatalf("salvage failed: %v", err)
+			}
+			if len(got) != keep-1 {
+				t.Fatalf("salvaged %d results, want %d", len(got), keep-1)
+			}
+		})
+	}
+}
+
+// TestCheckpointMidFileCorruptionIsLoud: damage that is not a torn
+// tail — a malformed, oversized or binary line with valid results
+// after it — cannot come from a crashed append-only writer, and
+// loading must fail loudly instead of silently truncating the
+// checkpoint at the damage.
+func TestCheckpointMidFileCorruptionIsLoud(t *testing.T) {
+	dir := t.TempDir()
+	path, header, points, lines := buildCheckpoint(t, dir, "plat=homog2,homog4;wl=carradio,jpeg", 5)
+	last := lines[len(lines)-1]
+	for name, corrupt := range map[string][]byte{
+		"malformed-line": []byte("{\"point\":{\"id\n"),
+		"binary-line":    append(bytes.Repeat([]byte{0xFE}, 64), '\n'),
+		"oversized-line": append(bytes.Repeat([]byte{'x'}, MaxLineBytes+2), '\n'),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			buf.Write(bytes.Join(lines[:len(lines)-1], nil))
+			buf.Write(corrupt)
+			buf.Write(last)
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCheckpoint(path, header, points)
+			if err == nil || !strings.Contains(err.Error(), "mid-file") {
+				t.Fatalf("mid-file corruption not rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadResultLog: the coordinator-checkpoint loader accepts
+// results in any order, validates the header like LoadCheckpoint,
+// salvages torn tails, and hands back the original line bytes.
+func TestReadResultLog(t *testing.T) {
+	dir := t.TempDir()
+	path, header, _, lines := buildCheckpoint(t, dir, "plat=homog2,homog4;wl=carradio,jpeg", 5)
+	// Rewrite with the result lines reversed (arrival order != point
+	// order) plus a torn tail.
+	var buf bytes.Buffer
+	buf.Write(lines[0])
+	for i := len(lines) - 1; i >= 1; i-- {
+		buf.Write(lines[i])
+	}
+	buf.WriteString(`{"point":{"id":`)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, raw, err := ReadResultLog(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(lines)-1 || len(raw) != len(results) {
+		t.Fatalf("loaded %d results (%d raw), want %d", len(results), len(raw), len(lines)-1)
+	}
+	if results[0].Point.ID != len(lines)-2 {
+		t.Fatalf("first loaded result is point %d, want %d (arrival order)", results[0].Point.ID, len(lines)-2)
+	}
+	for i, r := range raw {
+		if want := bytes.TrimSuffix(lines[len(lines)-1-i], []byte("\n")); !bytes.Equal(r, want) {
+			t.Fatalf("raw line %d diverged from file bytes", i)
+		}
+	}
+	// Foreign header still refuses.
+	other := NewHeader("smoke", 1, expandSweep(t, "smoke", 1), nil)
+	if _, _, err := ReadResultLog(path, other); err == nil {
+		t.Fatal("foreign result log accepted")
+	}
+	// Missing file: empty log.
+	if res, _, err := ReadResultLog(filepath.Join(dir, "nope.jsonl"), header); err != nil || res != nil {
+		t.Fatalf("missing log: %v, %v", res, err)
+	}
+}
+
+// TestAccumulator: incremental acceptance enforces the same contract
+// as MergeShards — validation against the expansion, byte-identical
+// dedupe, conflict refusal — and a complete accumulator writes output
+// byte-identical to the producing run.
+func TestAccumulator(t *testing.T) {
+	dir := t.TempDir()
+	path, header, points, lines := buildCheckpoint(t, dir, "plat=homog2,homog4;wl=carradio,jpeg", 5)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator(points)
+	// Feed result lines in reverse, then every line again (dupes).
+	for i := len(lines) - 1; i >= 1; i-- {
+		added, err := acc.Add(lines[i])
+		if err != nil || !added {
+			t.Fatalf("Add line %d = %v, %v", i, added, err)
+		}
+	}
+	if !acc.Complete() {
+		t.Fatalf("accumulator incomplete at %d/%d", acc.Done(), acc.Total())
+	}
+	for _, l := range lines[1:] {
+		if added, err := acc.Add(l); err != nil || added {
+			t.Fatalf("duplicate line accepted as new: %v, %v", added, err)
+		}
+	}
+	if acc.Duplicates() != len(lines)-1 {
+		t.Fatalf("counted %d duplicates, want %d", acc.Duplicates(), len(lines)-1)
+	}
+	var buf bytes.Buffer
+	if _, err := acc.WriteTo(&buf, header); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("accumulated output diverged from the producing run's bytes")
+	}
+	// Conflicting bytes for an accepted point refuse loudly.
+	tampered := bytes.Replace(lines[1], []byte(`"busy_ps":`), []byte(`"busy_ps":9`), 1)
+	if _, err := acc.Add(tampered); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting resubmission not rejected: %v", err)
+	}
+	// Out-of-sweep and spec-mismatched points refuse.
+	if _, err := acc.Add([]byte(`{"point":{"id":99999},"metrics":{}}`)); err == nil {
+		t.Fatal("out-of-range point accepted")
+	}
+	foreign := append([]byte(nil), lines[1]...)
+	foreign = bytes.Replace(foreign, []byte(`"seed":`), []byte(`"seed":1`), 1)
+	if _, err := acc.Add(foreign); err == nil {
+		t.Fatal("spec-mismatched point accepted")
+	}
+	// Live-front input: Completed is ID-ordered and complete here.
+	comp := acc.Completed()
+	if len(comp) != len(points) {
+		t.Fatalf("Completed returned %d results, want %d", len(comp), len(points))
+	}
+	for i, r := range comp {
+		if r.Point.ID != i {
+			t.Fatalf("Completed[%d] is point %d, want %d", i, r.Point.ID, i)
+		}
+	}
+	if missing, first := acc.Missing(); missing != 0 || first != -1 {
+		t.Fatalf("Missing() = %d, %d on a complete accumulator", missing, first)
 	}
 }

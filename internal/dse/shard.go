@@ -22,8 +22,10 @@ type Shard struct {
 	// Lo is the first point ID of the shard (inclusive).
 	Lo int `json:"lo"`
 	// Hi is one past the last point ID of the shard (exclusive). A
-	// shard with Lo == Hi is empty — legal when a sweep has fewer
-	// points than shards — and its result file is header-only.
+	// shard with Lo == Hi is empty — PlanShards never produces one
+	// (splitting finer than one point per shard is an error), but a
+	// coordinator worker whose whole lease was stolen can checkpoint
+	// one — and its result file is header-only.
 	Hi int `json:"hi"`
 }
 
@@ -80,13 +82,18 @@ func EstCost(p Point) float64 {
 // reaches k+1 n-ths of the sweep total, so expensive regions of the
 // cross product (vp fidelity, wide platforms) spread across shards
 // instead of landing on whoever drew the high point IDs. Every shard
-// takes at least one point while points remain; with more shards than
-// points the tail shards come out empty. The plan is a pure function
+// gets at least one point; asking for more shards than the sweep has
+// points is an error naming the valid range, because the extra shards
+// could only ever be empty make-work. The plan is a pure function
 // of (points, n) — every worker process computes the same plan from
 // the same spec, so no coordinator is needed.
 func PlanShards(points []Point, n int) ([]Shard, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dse: shard count must be >= 1 (got %d)", n)
+	}
+	if n > len(points) {
+		return nil, fmt.Errorf("dse: cannot split %d points into %d shards; use a shard count in 1..%d",
+			len(points), n, len(points))
 	}
 	total := 0.0
 	for _, p := range points {
@@ -112,17 +119,25 @@ func PlanShards(points []Point, n int) ([]Shard, error) {
 }
 
 // ParseShardArg parses a -shard flag value "k/n" (0-based shard k of
-// n total), e.g. "0/4" … "3/4".
+// n total), e.g. "0/4" … "3/4". Errors are specific — a malformed
+// value, a non-positive total and an out-of-range index each name
+// what to fix and the valid range, because -shard is typically typed
+// into N different hosts' command lines and a generic "bad shard"
+// hides which invocation is wrong.
 func ParseShardArg(s string) (k, n int, err error) {
 	ks, ns, ok := strings.Cut(s, "/")
-	if ok {
-		k, err = strconv.Atoi(strings.TrimSpace(ks))
-		if err == nil {
-			n, err = strconv.Atoi(strings.TrimSpace(ns))
-		}
+	if !ok {
+		return 0, 0, fmt.Errorf("dse: bad shard %q (want K/N, e.g. 0/4)", s)
 	}
-	if !ok || err != nil || n < 1 || k < 0 || k >= n {
-		return 0, 0, fmt.Errorf("dse: bad shard %q (want k/n with 0 <= k < n)", s)
+	k, kerr := strconv.Atoi(strings.TrimSpace(ks))
+	n, nerr := strconv.Atoi(strings.TrimSpace(ns))
+	switch {
+	case kerr != nil || nerr != nil:
+		return 0, 0, fmt.Errorf("dse: bad shard %q (K and N must be integers, e.g. 0/4)", s)
+	case n < 1:
+		return 0, 0, fmt.Errorf("dse: bad shard %q (total shard count N must be >= 1, got %d)", s, n)
+	case k < 0 || k >= n:
+		return 0, 0, fmt.Errorf("dse: bad shard %q (shard index K must be in 0..%d for N=%d)", s, n-1, n)
 	}
 	return k, n, nil
 }

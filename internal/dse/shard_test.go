@@ -2,9 +2,11 @@ package dse
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -67,23 +69,39 @@ func TestPlanShardsProperties(t *testing.T) {
 			t.Fatalf("n=%d plan is not deterministic", n)
 		}
 	}
-	// More shards than points: one point each, then empty tails.
+	// Splitting exactly one point per shard is the finest legal plan.
 	few := points[:3]
-	shards, err := PlanShards(few, 7)
+	shards, err := PlanShards(few, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for k, s := range shards {
-		want := 1
-		if k >= len(few) {
-			want = 0
-		}
-		if s.Len() != want {
-			t.Fatalf("shard %d of 7 over 3 points has %d points (want %d)", k, s.Len(), want)
+		if s.Len() != 1 {
+			t.Fatalf("shard %d of 3 over 3 points has %d points (want 1)", k, s.Len())
 		}
 	}
-	if _, err := PlanShards(points, 0); err == nil {
-		t.Fatal("PlanShards accepted n=0")
+}
+
+// TestPlanShardsErrors: asking for more shards than points, or a
+// non-positive count, is an actionable error naming the valid range —
+// not a plan with silently empty shards. Property-checked over a
+// range of invalid counts.
+func TestPlanShardsErrors(t *testing.T) {
+	points := expandSweep(t, "smoke", 1)
+	for _, n := range []int{0, -1, -100} {
+		if _, err := PlanShards(points, n); err == nil || !strings.Contains(err.Error(), ">= 1") {
+			t.Errorf("PlanShards(n=%d) = %v, want >=1 error", n, err)
+		}
+	}
+	wantRange := fmt.Sprintf("1..%d", len(points))
+	for _, n := range []int{len(points) + 1, len(points) + 7, 10 * len(points)} {
+		_, err := PlanShards(points, n)
+		if err == nil || !strings.Contains(err.Error(), wantRange) {
+			t.Errorf("PlanShards(n=%d) over %d points = %v, want error naming range %s", n, len(points), err, wantRange)
+		}
+	}
+	if _, err := PlanShards(nil, 1); err == nil {
+		t.Error("PlanShards over zero points accepted")
 	}
 }
 
@@ -92,9 +110,24 @@ func TestParseShardArg(t *testing.T) {
 	if err != nil || k != 2 || n != 5 {
 		t.Fatalf("ParseShardArg(2/5) = %d, %d, %v", k, n, err)
 	}
-	for _, bad := range []string{"", "3", "5/5", "-1/3", "a/b", "1/0", "1/-2"} {
-		if _, _, err := ParseShardArg(bad); err == nil {
-			t.Errorf("ParseShardArg(%q) accepted", bad)
+	// Each failure mode gets its own actionable message: the error
+	// must say what is wrong, not just "bad shard".
+	for _, tc := range []struct{ in, want string }{
+		{"", "want K/N"},
+		{"3", "want K/N"},
+		{"a/b", "integers"},
+		{"1/x", "integers"},
+		{"1/0", "must be >= 1"},
+		{"1/-2", "must be >= 1"},
+		{"0/0", "must be >= 1"},
+		{"5/5", "0..4"},
+		{"-1/3", "0..2"},
+	} {
+		_, _, err := ParseShardArg(tc.in)
+		if err == nil {
+			t.Errorf("ParseShardArg(%q) accepted", tc.in)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseShardArg(%q) = %v, want message containing %q", tc.in, err, tc.want)
 		}
 	}
 }
