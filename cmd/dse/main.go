@@ -7,7 +7,9 @@
 //
 //	dse [-sweep SPEC] [-workers N] [-seed S] [-out FILE] [-resume]
 //	    [-shard K/N] [-merge GLOB] [-pareto] [-hypervolume]
+//	    [-metrics-out FILE] [-trace FILE]
 //	dse -connect URL [-worker-id ID] [-worker-dir DIR] [-workers N]
+//	    [-metrics-out FILE] [-trace FILE]
 //
 // SPEC is a preset (smoke, default) or a ';'-separated dimension
 // list, e.g.:
@@ -29,6 +31,13 @@
 // SIGINT/SIGTERM stop a sweep gracefully: in-flight evaluations
 // finish, the completed prefix is flushed as a valid -resume
 // checkpoint, and the process exits nonzero.
+//
+// Telemetry is opt-in and never changes output bytes: -metrics-out
+// dumps a JSON summary of the sweep's internal counters and latency
+// histograms on exit, and -trace records one span per evaluated point
+// (plus sweep expansion and, in -connect mode, lease and result-flush
+// round-trips) as Chrome trace-event JSON for ui.perfetto.dev. Both
+// work in standalone and -connect modes; see docs/observability.md.
 //
 // The second form joins a dsed coordinator as a worker: the sweep
 // spec comes from the coordinator (and is verified against the local
@@ -73,6 +82,7 @@ import (
 
 	"mpsockit/internal/coord"
 	"mpsockit/internal/dse"
+	"mpsockit/internal/obs"
 )
 
 func main() {
@@ -89,6 +99,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on clean exit")
 	benchJSON := flag.String("bench-json", "", "after the sweep, write a machine-readable timing record (points/sec, wall time, GOMAXPROCS) to this file")
+	metricsOut := flag.String("metrics-out", "", "write a JSON metrics summary (eval latency histograms, cache and kernel counters) to this file on exit")
+	traceOut := flag.String("trace", "", "write per-point trace spans (Chrome trace-event JSON, loadable in ui.perfetto.dev) to this file")
 	connect := flag.String("connect", "", "join a dsed coordinator at this base URL as a worker instead of sweeping locally")
 	workerID := flag.String("worker-id", "", "worker identity in -connect mode (default host-pid)")
 	workerDir := flag.String("worker-dir", "", "directory for locally checkpointing leases the coordinator could not be told about (-connect mode)")
@@ -100,8 +112,57 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	// Telemetry is opt-in and side-channel only: with -metrics-out the
+	// evaluation pipeline counts into a registry dumped as JSON on
+	// exit, and with -trace every evaluated point (plus sweep expansion
+	// and, in -connect mode, lease/flush round-trips) becomes a span.
+	// Neither changes a single output byte (see docs/observability.md).
+	var (
+		reg    *obs.Registry
+		evObs  dse.EvalObs
+		tracer *obs.Tracer
+	)
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		evObs = dse.NewEvalObs(reg)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = obs.NewTracer(f)
+		defer f.Close()
+	}
+	flushTelemetry = func() {
+		flushTelemetry = func() {}
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dse: trace -> %s (%d spans)\n", *traceOut, tracer.Spans())
+		}
+		if reg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dse: metrics -> %s\n", *metricsOut)
+		}
+	}
+	// Late-bound so the deferred call sees the no-op flushTelemetry
+	// installs on first use rather than the original closure.
+	defer func() { flushTelemetry() }()
+
 	if *connect != "" {
-		runWorker(ctx, *connect, *workerID, *workerDir, *workers)
+		runWorker(ctx, *connect, *workerID, *workerDir, *workers, evObs, tracer)
+		flushTelemetry()
 		return
 	}
 
@@ -131,6 +192,7 @@ func main() {
 		return
 	}
 
+	expandStart := time.Now()
 	sw, err := dse.ParseSweep(*sweepSpec, *seed)
 	if err != nil {
 		fatal(err)
@@ -138,6 +200,10 @@ func main() {
 	points, err := sw.Points()
 	if err != nil {
 		fatal(err)
+	}
+	if tracer != nil {
+		tracer.Span("expand", "sweep", -1, expandStart, time.Since(expandStart),
+			obs.Arg{Key: "points", Val: int64(len(points))})
 	}
 
 	// Shard mode: plan the same contiguous ranges every invocation
@@ -193,7 +259,7 @@ func main() {
 	}
 	start := time.Now()
 	emitted := len(prefix)
-	eng := &dse.Engine{Workers: *workers, OnResult: func(r dse.Result) {
+	eng := &dse.Engine{Workers: *workers, Obs: evObs, Tracer: tracer, OnResult: func(r dse.Result) {
 		if err := dse.WriteResult(sink, r); err != nil {
 			fatal(err)
 		}
@@ -212,6 +278,7 @@ func main() {
 			len(results), len(slice), outPath)
 		closeSink()
 		stopCPUProfile()
+		flushTelemetry()
 		os.Exit(130)
 	}
 
@@ -239,18 +306,23 @@ func main() {
 // interrupted (exit 130), or the coordinator stays unreachable past
 // the retry budget (exit 1; any undelivered lease is checkpointed
 // under -worker-dir and resubmitted on the next join with the same
-// -worker-id).
-func runWorker(ctx context.Context, url, id, dir string, workers int) {
+// -worker-id). -metrics-out and -trace apply here too: evObs counts
+// this worker's share of the sweep and tracer records lease/eval/flush
+// spans.
+func runWorker(ctx context.Context, url, id, dir string, workers int, evObs dse.EvalObs, tracer *obs.Tracer) {
 	w := coord.NewWorker(coord.WorkerConfig{
 		URL:           url,
 		ID:            id,
 		Workers:       workers,
 		CheckpointDir: dir,
 		Log:           log.New(os.Stderr, "dse: ", 0),
+		Obs:           evObs,
+		Tracer:        tracer,
 	})
 	if err := w.Run(ctx); err != nil {
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "dse: worker interrupted")
+			flushTelemetry()
 			os.Exit(130)
 		}
 		fatal(err)
@@ -398,8 +470,15 @@ func writeBenchJSON(path, sweep string, seed uint64, points int, wall time.Durat
 // profile behind.
 var stopCPUProfile = func() {}
 
+// flushTelemetry closes the -trace span stream and writes the
+// -metrics-out summary; like stopCPUProfile it is a package variable
+// so the os.Exit paths (interrupt, fatal) can flush what main's defers
+// would have. It replaces itself with a no-op on first call.
+var flushTelemetry = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dse:", err)
 	stopCPUProfile()
+	flushTelemetry()
 	os.Exit(1)
 }

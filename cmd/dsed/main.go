@@ -9,7 +9,14 @@
 //
 //	dsed [-addr :9090] [-sweep SPEC] [-seed S] [-out FILE]
 //	     [-checkpoint FILE] [-resume] [-lease-timeout D] [-chunks N]
-//	     [-pareto] [-hypervolume]
+//	     [-pareto] [-hypervolume] [-status-interval D] [-pprof]
+//
+// The coordinator serves Prometheus metrics at GET /metrics (lease
+// grants/reclaims/steals, accepted and duplicate lines, per-worker
+// heartbeat age) and an enriched JSON GET /status with a per-worker
+// table, points/sec and a cost-weighted ETA; -status-interval logs the
+// same progress line periodically, and -pprof opts into the standard
+// net/http/pprof profiling endpoints. See docs/observability.md.
 //
 // Workers join with:
 //
@@ -38,6 +45,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +66,8 @@ func main() {
 	chunks := flag.Int("chunks", 32, "target number of fresh leases the sweep is cut into")
 	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter on completion")
 	hypervolume := flag.Bool("hypervolume", false, "print the per-workload front hypervolume indicator on completion")
+	statusInterval := flag.Duration("status-interval", 30*time.Second, "log a live progress line (points/sec, ETA) this often; 0 disables")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -67,7 +77,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger := log.New(os.Stderr, "dsed: ", log.LstdFlags)
 	srv, err := coord.New(coord.Config{
 		Spec:           *sweepSpec,
 		Seed:           *seed,
@@ -86,15 +96,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in: the default pprof mux routes are copied under a mux
+		// that falls through to the coordinator for everything else.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
 	}()
 	st := srv.Status()
-	logger.Printf("dsed: coordinating %q seed %d (%d points, %d done) on %s",
-		*sweepSpec, *seed, st.Total, st.Done, ln.Addr())
+	logger.Printf("listening on %s (metrics at /metrics, status at /status)", ln.Addr())
+	if *checkpoint != "" {
+		logger.Printf("checkpointing accepted results to %s", *checkpoint)
+	}
+	if *pprofOn {
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
+	logger.Printf("coordinating %q seed %d (%d points, %d done)",
+		*sweepSpec, *seed, st.Total, st.Done)
+
+	if *statusInterval > 0 {
+		go func() {
+			t := time.NewTicker(*statusInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-srv.Done():
+					return
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					st := srv.Status()
+					line := fmt.Sprintf("live %d/%d points, %d workers, %d leases out, %.1f points/sec",
+						st.Done, st.Total, st.Workers, st.ActiveLeases, st.PointsPerSec)
+					if st.ETASeconds > 0 {
+						line += fmt.Sprintf(", ETA %s", (time.Duration(st.ETASeconds * float64(time.Second))).Round(time.Second))
+					}
+					logger.Print(line)
+				}
+			}
+		}()
+	}
 
 	select {
 	case <-srv.Done():
@@ -107,10 +160,10 @@ func main() {
 		}
 		st := srv.Status()
 		if *checkpoint != "" {
-			logger.Printf("dsed: interrupted at %d/%d points; checkpoint flushed to %s (restart with -resume)",
+			logger.Printf("interrupted at %d/%d points; checkpoint flushed to %s (restart with -resume)",
 				st.Done, st.Total, *checkpoint)
 		} else {
-			logger.Printf("dsed: interrupted at %d/%d points; no -checkpoint, progress lost", st.Done, st.Total)
+			logger.Printf("interrupted at %d/%d points; no -checkpoint, progress lost", st.Done, st.Total)
 		}
 		os.Exit(130)
 	}
@@ -141,7 +194,7 @@ func main() {
 		fatal(err)
 	}
 	st = srv.Status()
-	logger.Printf("dsed: sweep complete -> %s (%d points, %d duplicate lines absorbed, %d workers)",
+	logger.Printf("sweep complete -> %s (%d points, %d duplicate lines absorbed, %d workers)",
 		*out, st.Done, st.Duplicates, st.Workers)
 	if *pareto || *hypervolume {
 		results := srv.Results()

@@ -107,7 +107,7 @@ func TestDocsGoSnippets(t *testing.T) {
 // coordinator packages needs a doc comment (grouped const/var/type
 // specs may inherit the group's comment, as revive allows).
 func TestExportedComments(t *testing.T) {
-	for _, dir := range []string{"internal/dse", "internal/mapping", "internal/coord", "internal/coord/chaos"} {
+	for _, dir := range []string{"internal/dse", "internal/mapping", "internal/coord", "internal/coord/chaos", "internal/obs"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

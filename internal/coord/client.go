@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mpsockit/internal/dse"
+	"mpsockit/internal/obs"
 )
 
 // ErrConflict is returned when the coordinator rejects submitted
@@ -57,6 +58,12 @@ type WorkerConfig struct {
 	OnResult func(dse.Result)
 	// Workers sizes the evaluation pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Obs, when non-zero, instruments the evaluation pool (attached to
+	// every engine the worker runs). Telemetry never changes result
+	// bytes.
+	Obs dse.EvalObs
+	// Tracer, when set, records lease/eval/flush spans.
+	Tracer *obs.Tracer
 }
 
 // Worker evaluates leased point ranges against a coordinator until
@@ -193,6 +200,17 @@ func (w *Worker) hello(ctx context.Context) error {
 // returns the transport error so the caller can rejoin later.
 func (w *Worker) workLease(ctx context.Context, l Lease) error {
 	w.log.Printf("%s: lease %d [%d,%d)", w.cfg.ID, l.ID, l.Lo, l.Hi)
+	// The lease span sits on the coordination row (tid -1), above the
+	// per-worker eval rows the engine emits.
+	if w.cfg.Tracer != nil {
+		leaseStart := time.Now()
+		defer func() {
+			w.cfg.Tracer.Span("lease", "coord", -1, leaseStart, time.Since(leaseStart),
+				obs.Arg{Key: "lease", Val: l.ID},
+				obs.Arg{Key: "lo", Val: int64(l.Lo)},
+				obs.Arg{Key: "hi", Val: int64(l.Hi)})
+		}()
+	}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	go w.heartbeatLoop(hbCtx, l.ID)
@@ -214,6 +232,8 @@ func (w *Worker) workLease(ctx context.Context, l Lease) error {
 	var evalErr error
 	eng := dse.Engine{
 		Workers: w.cfg.Workers,
+		Obs:     w.cfg.Obs,
+		Tracer:  w.cfg.Tracer,
 		// OnResult runs on the engine's collector goroutine, in point
 		// order — so pending accumulates the exact bytes a standalone
 		// run would write for this range.
@@ -275,6 +295,14 @@ func (w *Worker) heartbeatLoop(ctx context.Context, leaseID int64) {
 // backoff. A 409 (conflict) maps to ErrConflict and is not retried.
 func (w *Worker) submit(ctx context.Context, leaseID int64, lines []byte) error {
 	url := fmt.Sprintf("%s/results?worker=%s&lease=%d", w.cfg.URL, w.cfg.ID, leaseID)
+	if w.cfg.Tracer != nil {
+		flushStart := time.Now()
+		defer func() {
+			w.cfg.Tracer.Span("flush", "coord", -1, flushStart, time.Since(flushStart),
+				obs.Arg{Key: "lease", Val: leaseID},
+				obs.Arg{Key: "bytes", Val: int64(len(lines))})
+		}()
+	}
 	var lastErr error
 	w.backoff.Reset()
 	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {

@@ -41,6 +41,9 @@ type leaseTable struct {
 	timeout   time.Duration
 	costs     []float64
 	has       func(id int) bool
+	// obs counts grants, reissues, steals and reclaims; the zero value
+	// is inert.
+	obs leaseObs
 }
 
 // newLeaseTable builds a table over the per-point costs with the
@@ -90,6 +93,7 @@ func (t *leaseTable) reclaim(now time.Time) int {
 		if now.After(l.deadline) {
 			delete(t.active, id)
 			t.uncovered(l.lo, l.hi, l.issues+1)
+			t.obs.reclaims.Inc()
 			n++
 		}
 	}
@@ -193,12 +197,17 @@ func (t *leaseTable) steal(worker string, now time.Time) *lease {
 		}
 	}
 	victim.stolen = true
+	t.obs.steals.Inc()
 	start := missing[len(missing)/2]
 	return t.issue(worker, start, victim.hi, victim.issues+1, now)
 }
 
 // issue registers and returns a new active lease over [lo, hi).
 func (t *leaseTable) issue(worker string, lo, hi, issues int, now time.Time) *lease {
+	t.obs.grants.Inc()
+	if issues > 0 {
+		t.obs.reissues.Inc()
+	}
 	t.nextID++
 	l := &lease{
 		id:       t.nextID,

@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"time"
+
+	"mpsockit/internal/obs"
+)
+
+// coordObs bundles the coordinator's result-path counters. Fields are
+// nil-safe obs instruments, so the zero value (no registry) is inert.
+type coordObs struct {
+	accepted   *obs.Counter
+	duplicates *obs.Counter
+	conflicts  *obs.Counter
+}
+
+// leaseObs bundles the lease table's counters; the table increments
+// them inline (grant, reissue, steal, reclaim) and the zero value is
+// inert.
+type leaseObs struct {
+	grants   *obs.Counter
+	reissues *obs.Counter
+	steals   *obs.Counter
+	reclaims *obs.Counter
+}
+
+// workerState is the coordinator's per-worker record: when the worker
+// was last heard from (hello, lease, heartbeat or results) and how
+// many result lines of its submissions were accepted as new.
+type workerState struct {
+	lastSeen time.Time
+	accepted int64
+}
+
+// initObs registers the coordinator's metric families on its registry.
+// Func-valued gauges read server state under s.mu — safe because the
+// registry never renders while a coordinator handler holds the lock
+// (exposition snapshots the series list, then evaluates functions
+// unlocked).
+func (s *Server) initObs() {
+	r := s.reg
+	s.obs = coordObs{
+		accepted:   r.Counter("coord_results_accepted_total", "Result lines accepted as new."),
+		duplicates: r.Counter("coord_result_duplicates_total", "Byte-identical duplicate result lines absorbed."),
+		conflicts:  r.Counter("coord_result_conflicts_total", "Result batches rejected with 409 (conflicting bytes for an accepted point)."),
+	}
+	s.table.obs = leaseObs{
+		grants:   r.Counter("coord_lease_grants_total", "Leases granted (fresh, reissued and stolen)."),
+		reissues: r.Counter("coord_lease_reissues_total", "Lease grants covering previously-leased ranges."),
+		steals:   r.Counter("coord_lease_steals_total", "Leases granted by stealing a straggler's unfinished tail."),
+		reclaims: r.Counter("coord_lease_reclaims_total", "Expired leases reclaimed."),
+	}
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	r.GaugeFunc("coord_points_done", "Points with an accepted result.",
+		locked(func() float64 { return float64(s.acc.Done()) }))
+	r.GaugeFunc("coord_points_total", "Points in the sweep.",
+		func() float64 { return float64(len(s.points)) })
+	r.GaugeFunc("coord_active_leases", "Currently outstanding leases.",
+		locked(func() float64 { return float64(len(s.table.active)) }))
+	r.GaugeFunc("coord_pending_points", "Points neither done nor covered by an active lease.",
+		locked(func() float64 { return float64(s.table.pendingPoints()) }))
+	r.GaugeFunc("coord_workers", "Distinct worker identities seen.",
+		locked(func() float64 { return float64(len(s.workers)) }))
+}
+
+// touchWorkerLocked records that the worker was heard from now,
+// registering its per-worker metric series on first sight. Caller
+// holds s.mu.
+func (s *Server) touchWorkerLocked(worker string, now time.Time) *workerState {
+	if worker == "" {
+		worker = "(anonymous)"
+	}
+	ws, ok := s.workers[worker]
+	if !ok {
+		ws = &workerState{}
+		s.workers[worker] = ws
+		s.reg.GaugeFunc("coord_worker_heartbeat_age_seconds",
+			"Seconds since the worker was last heard from.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return s.cfg.Now().Sub(ws.lastSeen).Seconds()
+			}, "worker", worker)
+		s.reg.CounterFunc("coord_worker_accepted_total",
+			"Result lines from this worker accepted as new.",
+			func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(ws.accepted)
+			}, "worker", worker)
+	}
+	ws.lastSeen = now
+	return ws
+}

@@ -152,4 +152,24 @@ type Status struct {
 	Workers int `json:"workers"`
 	// Complete mirrors Done == Total.
 	Complete bool `json:"complete"`
+	// PointsPerSec is the acceptance rate since this coordinator
+	// process started (resumed checkpoint points excluded).
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	// ETASeconds estimates the remaining wall-clock time, weighting
+	// points by estimated evaluation cost rather than counting them
+	// equally; zero until enough work has been accepted to form a rate.
+	ETASeconds float64 `json:"eta_s,omitempty"`
+	// WorkerInfo is the per-worker table, sorted by name.
+	WorkerInfo []WorkerStatus `json:"worker_info,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the Status table.
+type WorkerStatus struct {
+	// Name is the worker's self-chosen identity.
+	Name string `json:"name"`
+	// Accepted counts this worker's result lines accepted as new.
+	Accepted int64 `json:"accepted"`
+	// LastSeenAgo is seconds since the worker was last heard from
+	// (hello, lease, heartbeat or results).
+	LastSeenAgo float64 `json:"last_seen_ago_s"`
 }

@@ -9,11 +9,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"mpsockit/internal/dse"
+	"mpsockit/internal/obs"
 )
 
 // Config parameterizes a coordinator.
@@ -62,12 +64,22 @@ type Server struct {
 	mu        sync.Mutex
 	acc       *dse.Accumulator
 	table     *leaseTable
-	workers   map[string]bool
+	workers   map[string]*workerState
 	ckptFile  *os.File
 	ckpt      *bufio.Writer
 	done      chan struct{}
 	closeOnce sync.Once
 	frontAt   int
+
+	// reg and obs are the coordinator's telemetry. started/baseCost
+	// anchor throughput and ETA: rates count only work accepted since
+	// this process started, so a resumed sweep does not claim its
+	// checkpointed points as instantaneous progress.
+	reg      *obs.Registry
+	obs      coordObs
+	started  time.Time
+	baseDone int
+	baseCost float64
 }
 
 // New expands the sweep, optionally re-accepts an existing
@@ -99,8 +111,10 @@ func New(cfg Config) (*Server, error) {
 		header:  dse.NewHeader(cfg.Spec, cfg.Seed, points, nil),
 		costs:   make([]float64, len(points)),
 		acc:     dse.NewAccumulator(points),
-		workers: make(map[string]bool),
+		workers: make(map[string]*workerState),
 		done:    make(chan struct{}),
+		reg:     obs.NewRegistry(),
+		started: cfg.Now(),
 	}
 	total := 0.0
 	for i, p := range points {
@@ -119,10 +133,17 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		if len(results) > 0 {
-			cfg.Log.Printf("coord: resumed %d/%d points from %s", s.acc.Done(), len(points), cfg.CheckpointPath)
+			cfg.Log.Printf("resumed %d/%d points from %s", s.acc.Done(), len(points), cfg.CheckpointPath)
 		}
 	}
 	s.table.uncovered(0, len(points), 0)
+	s.initObs()
+	s.baseDone = s.acc.Done()
+	for i := range points {
+		if s.acc.Has(i) {
+			s.baseCost += s.costs[i]
+		}
+	}
 	if cfg.CheckpointPath != "" {
 		// (Re)write the log cleanly: a salvaged torn tail must not
 		// remain in a file we are about to append to.
@@ -224,12 +245,16 @@ func (s *Server) WriteFinal(w io.Writer) error {
 	return err
 }
 
-// Status returns a progress snapshot.
+// Status returns a progress snapshot, including the per-worker table
+// and the cost-weighted throughput/ETA estimate (rates count only
+// work accepted since this process started, so a resumed coordinator
+// does not credit its checkpoint as instantaneous progress).
 func (s *Server) Status() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.table.reclaim(s.cfg.Now())
-	return Status{
+	now := s.cfg.Now()
+	s.table.reclaim(now)
+	st := Status{
 		Spec:          s.header.Spec,
 		Seed:          s.header.Seed,
 		Done:          s.acc.Done(),
@@ -240,7 +265,34 @@ func (s *Server) Status() Status {
 		Workers:       len(s.workers),
 		Complete:      s.acc.Complete(),
 	}
+	var doneCost, remCost float64
+	for i := range s.points {
+		if s.acc.Has(i) {
+			doneCost += s.costs[i]
+		} else {
+			remCost += s.costs[i]
+		}
+	}
+	if elapsed := now.Sub(s.started).Seconds(); elapsed > 0 {
+		st.PointsPerSec = float64(st.Done-s.baseDone) / elapsed
+		if costRate := (doneCost - s.baseCost) / elapsed; costRate > 0 {
+			st.ETASeconds = remCost / costRate
+		}
+	}
+	for name, ws := range s.workers {
+		st.WorkerInfo = append(st.WorkerInfo, WorkerStatus{
+			Name:        name,
+			Accepted:    ws.accepted,
+			LastSeenAgo: now.Sub(ws.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(st.WorkerInfo, func(i, j int) bool { return st.WorkerInfo[i].Name < st.WorkerInfo[j].Name })
+	return st
 }
+
+// Registry exposes the coordinator's metric registry; cmd/dsed mounts
+// its Prometheus handler and callers may add their own series.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Handler returns the coordinator's HTTP handler (the worker
 // protocol plus /status).
@@ -251,6 +303,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /results", s.handleResults)
 	mux.HandleFunc("POST /heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
 
@@ -275,9 +328,9 @@ func (s *Server) handleHello(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	s.workers[req.Worker] = true
+	s.touchWorkerLocked(req.Worker, s.cfg.Now())
 	s.mu.Unlock()
-	s.cfg.Log.Printf("coord: hello from %s", req.Worker)
+	s.cfg.Log.Printf("hello from %s", req.Worker)
 	writeJSON(w, HelloResponse{
 		Header:      s.header,
 		HeartbeatMS: (s.cfg.LeaseTimeout / 4).Milliseconds(),
@@ -292,9 +345,9 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	now := s.cfg.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.workers[req.Worker] = true
+	s.touchWorkerLocked(req.Worker, now)
 	if n := s.table.reclaim(now); n > 0 {
-		s.cfg.Log.Printf("coord: reclaimed %d expired lease(s)", n)
+		s.cfg.Log.Printf("reclaimed %d expired lease(s)", n)
 	}
 	s.table.closeCovered()
 	if s.acc.Complete() {
@@ -310,7 +363,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, LeaseResponse{RetryMS: retry.Milliseconds()})
 		return
 	}
-	s.cfg.Log.Printf("coord: lease %d [%d,%d) -> %s (reissue %d)", l.id, l.lo, l.hi, req.Worker, l.issues)
+	s.cfg.Log.Printf("lease %d [%d,%d) -> %s (reissue %d)", l.id, l.lo, l.hi, req.Worker, l.issues)
 	writeJSON(w, LeaseResponse{Lease: &Lease{
 		ID:         l.id,
 		Lo:         l.lo,
@@ -324,8 +377,10 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	now := s.cfg.Now()
 	s.mu.Lock()
-	valid := s.table.heartbeat(req.Lease, s.cfg.Now())
+	s.touchWorkerLocked(req.Worker, now)
+	valid := s.table.heartbeat(req.Lease, now)
 	s.mu.Unlock()
 	writeJSON(w, HeartbeatResponse{Valid: valid})
 }
@@ -345,6 +400,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	leaseID, _ := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ws := s.touchWorkerLocked(worker, s.cfg.Now())
 	ack := ResultAck{}
 	for _, line := range bytes.Split(body, []byte("\n")) {
 		if len(bytes.TrimSpace(line)) == 0 {
@@ -352,6 +408,8 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		added, err := s.acc.Add(line)
 		if err != nil {
+			s.obs.conflicts.Inc()
+			s.cfg.Log.Printf("conflict from %s (lease %d): %v", worker, leaseID, err)
 			http.Error(w, "coord: "+err.Error(), http.StatusConflict)
 			return
 		}
@@ -371,15 +429,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ws.accepted += int64(ack.Accepted)
+	s.obs.accepted.Add(int64(ack.Accepted))
+	s.obs.duplicates.Add(int64(ack.Duplicates))
 	s.table.closeCovered()
 	s.logProgressLocked()
 	if s.acc.Complete() {
 		ack.Done = true
-		s.cfg.Log.Printf("coord: sweep complete: %d points (%d duplicate lines absorbed)", s.acc.Total(), s.acc.Duplicates())
+		s.cfg.Log.Printf("sweep complete: %d points (%d duplicate lines absorbed)", s.acc.Total(), s.acc.Duplicates())
 		s.finishLocked()
 	}
-	_ = worker
-	_ = leaseID
 	writeJSON(w, ack)
 }
 
@@ -413,6 +472,6 @@ func (s *Server) logProgressLocked() {
 		}
 		fmt.Fprintf(&hv, "%s=%.3f", f.Workload, f.Norm)
 	}
-	s.cfg.Log.Printf("coord: live %d/%d points, front %d, hv-norm %s",
+	s.cfg.Log.Printf("live %d/%d points, front %d, hv-norm %s",
 		s.acc.Done(), s.acc.Total(), len(front), hv.String())
 }

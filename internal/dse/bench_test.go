@@ -1,6 +1,10 @@
 package dse
 
-import "testing"
+import (
+	"testing"
+
+	"mpsockit/internal/obs"
+)
 
 // BenchmarkSweepPoint measures one task-level design-point evaluation
 // end to end (platform build, mapping search, mapped execution) — the
@@ -21,6 +25,34 @@ func BenchmarkSweepPoint(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := Evaluate(p)
+		if r.Err != "" {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkSweepPointObs is the same point evaluated on a reused
+// EvalContext with live metrics attached — the farm worker's
+// steady-state configuration. TestInstrumentationAllocFree holds that
+// this path allocates exactly what the unobserved one does.
+func BenchmarkSweepPointObs(b *testing.B) {
+	p := Point{
+		ID:   0,
+		Seed: 12345,
+		Plat: PlatSpec{Kind: "wireless", Fabric: "mesh", DVFS: 1},
+
+		Workload:     "synth",
+		N:            16,
+		WorkloadSeed: 99,
+		Heuristic:    "anneal",
+		Fidelity:     "mvp",
+	}
+	c := NewEvalContext()
+	c.SetObs(NewEvalObs(obs.NewRegistry()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Evaluate(p)
 		if r.Err != "" {
 			b.Fatal(r.Err)
 		}

@@ -46,6 +46,13 @@ type EvalContext struct {
 	multis map[string]*multiEntry
 	// progs caches assembled vp calibration loops by iteration count.
 	progs map[int64]*isa.Program
+
+	// obs is the optional instrumentation handle (SetObs); the zero
+	// value is inert. kBase/vkBase anchor kernel-stat baselines so
+	// counter growth survives kernel replacement.
+	obs    EvalObs
+	kBase  kernelBase
+	vkBase kernelBase
 }
 
 type graphKey struct {
@@ -74,6 +81,14 @@ func NewEvalContext() *EvalContext {
 	}
 }
 
+// SetObs attaches the instrumentation handle; the mapping search
+// counters are forwarded to the context's evaluator. Attaching (or
+// not) never changes evaluation results.
+func (c *EvalContext) SetObs(o EvalObs) {
+	c.obs = o
+	c.me.Obs = o.Search
+}
+
 // reuseKernel returns *kp reset for the next point, replacing it with
 // a fresh kernel when live processes make reset impossible.
 func reuseKernel(kp **sim.Kernel) *sim.Kernel {
@@ -90,8 +105,10 @@ func reuseKernel(kp **sim.Kernel) *sim.Kernel {
 func (c *EvalContext) graph(p Point) (*taskgraph.Graph, error) {
 	key := graphKey{kind: p.Workload, n: p.N, seed: p.WorkloadSeed}
 	if g, ok := c.graphs[key]; ok {
+		c.obs.GraphHits.Inc()
 		return g, nil
 	}
+	c.obs.GraphMisses.Inc()
 	g, err := buildGraph(p)
 	if err != nil {
 		return nil, err
@@ -122,8 +139,10 @@ func multiKey(p Point) string {
 func (c *EvalContext) multiScenario(p Point) (*multiEntry, error) {
 	key := multiKey(p)
 	if mu, ok := c.multis[key]; ok {
+		c.obs.MultiHits.Inc()
 		return mu, nil
 	}
+	c.obs.MultiMisses.Inc()
 	apps := make([]workload.AppSpec, len(p.Apps))
 	graphs := make([]*taskgraph.Graph, len(p.Apps))
 	for i, a := range p.Apps {
@@ -169,8 +188,10 @@ loop:
 // constantly.
 func (c *EvalContext) loopProg(iters int64) (*isa.Program, error) {
 	if prog, ok := c.progs[iters]; ok {
+		c.obs.ProgHits.Inc()
 		return prog, nil
 	}
+	c.obs.ProgMisses.Inc()
 	prog, err := assembleLoop(iters)
 	if err != nil {
 		return nil, err

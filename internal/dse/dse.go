@@ -84,7 +84,9 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
+	"mpsockit/internal/obs"
 	"mpsockit/internal/platform"
 	"mpsockit/internal/sim"
 )
@@ -244,6 +246,13 @@ type Engine struct {
 	// prefix is complete, so a consumer writing JSONL produces
 	// identical bytes for any worker count.
 	OnResult func(Result)
+	// Obs, when non-zero, is attached to every worker's EvalContext
+	// (shared instruments are atomic, so one handle serves the pool).
+	Obs EvalObs
+	// Tracer, when set, records one "eval" span per point, on a
+	// Perfetto row per worker, categorized by fidelity. Telemetry is a
+	// side channel: results are byte-identical with or without it.
+	Tracer *obs.Tracer
 }
 
 // Run evaluates every point and returns the results in input order.
@@ -275,17 +284,25 @@ func (e *Engine) RunContext(ctx context.Context, points []Point) []Result {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// One context per worker: kernels, workload prototypes and
 			// mapping scratch are reused across the points this worker
 			// drains, with no cross-worker sharing.
-			ctx := NewEvalContext()
+			ec := NewEvalContext()
+			ec.SetObs(e.Obs)
 			for idx := range jobs {
-				results[idx] = ctx.Evaluate(points[idx])
+				if e.Tracer != nil {
+					t0 := time.Now()
+					results[idx] = ec.Evaluate(points[idx])
+					e.Tracer.Span("eval", points[idx].Fidelity, w, t0, time.Since(t0),
+						obs.Arg{Key: "point", Val: int64(points[idx].ID)})
+				} else {
+					results[idx] = ec.Evaluate(points[idx])
+				}
 				completed <- idx
 			}
-		}()
+		}(w)
 	}
 	// Collector: release results to OnResult in point order. next is
 	// read after collWG.Wait, which orders the access after the

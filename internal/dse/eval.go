@@ -3,6 +3,7 @@ package dse
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mpsockit/internal/mapping"
 	"mpsockit/internal/noc"
@@ -39,10 +40,27 @@ func Evaluate(p Point) Result {
 // sweep: evaluation failures come back in Result.Err. Results are
 // byte-identical to a fresh-context evaluation.
 func (c *EvalContext) Evaluate(p Point) Result {
+	// Latency is observed wall-clock around the whole evaluation; the
+	// clock is read only when this fidelity has a live histogram, and
+	// nothing read here feeds back into the result bytes.
+	var start time.Time
+	h := c.obs.latency(p.Fidelity)
+	if h != nil {
+		start = time.Now()
+	}
 	m, err := c.evaluate(p)
 	r := Result{Point: p, Metrics: m}
 	if err != nil {
 		r.Err = err.Error()
+		c.obs.Errors.Inc()
+	}
+	c.obs.Points.Inc()
+	if h != nil {
+		h.Observe(time.Since(start).Microseconds())
+	}
+	if c.obs.SimExecuted != nil {
+		c.obs.absorb(&c.kBase, c.k)
+		c.obs.absorb(&c.vkBase, c.vk)
 	}
 	return r
 }

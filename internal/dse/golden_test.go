@@ -3,9 +3,12 @@ package dse
 import (
 	"bytes"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"mpsockit/internal/obs"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden sweep regression files")
@@ -36,11 +39,23 @@ func TestDefaultSweepGolden(t *testing.T) {
 	if err := WriteHeader(&buf, NewHeader("default", 1, points, nil)); err != nil {
 		t.Fatal(err)
 	}
-	results := (&Engine{}).Run(points)
+	// The golden run carries full telemetry — a live metrics registry
+	// and a span tracer — so matching the golden file (recorded before
+	// instrumentation existed) proves observation never changes an
+	// output byte on the real 612-point sweep.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(io.Discard)
+	results := (&Engine{Obs: NewEvalObs(reg), Tracer: tracer}).Run(points)
 	for _, r := range results {
 		if r.Err != "" {
 			t.Fatalf("point %d failed: %s", r.Point.ID, r.Err)
 		}
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tracer.Spans(), int64(len(points)); got < want {
+		t.Fatalf("tracer recorded %d spans, want at least one per evaluated point (%d)", got, want)
 	}
 	front := GroupedFront(results)
 	buf.WriteString(FrontTable(results, front))

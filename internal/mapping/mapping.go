@@ -136,6 +136,11 @@ type Evaluator struct {
 	peAvail []sim.Time
 	finish  []sim.Time
 	load    []sim.Time
+
+	// Obs is the optional search-instrumentation handle. The zero
+	// value is inert; attaching counters never changes which
+	// assignment a heuristic returns.
+	Obs SearchObs
 }
 
 // NewEvaluator returns an evaluator bound to (g, plat). The graph's
@@ -225,6 +230,7 @@ func (e *Evaluator) Capable(id int) []int { return e.capab[id] }
 // the makespan; with wantSlots true it allocates a fresh slot list
 // for the caller to keep.
 func (e *Evaluator) schedule(taskPE []int, wantSlots bool) (sim.Time, []Slot, error) {
+	e.Obs.Schedules.Inc()
 	v := e.view
 	order, err := v.TopoOrder()
 	if err != nil {
@@ -285,6 +291,7 @@ func evaluate(g *taskgraph.Graph, plat *platform.Platform, taskPE []int) (sim.Ti
 // static-schedule makespan, or the pipeline's steady-state period
 // (the most-loaded core) for throughput. Zero allocations.
 func (e *Evaluator) objectiveCost(objective Objective, assign []int) sim.Time {
+	e.Obs.CostEvals.Inc()
 	if objective == Throughput {
 		nPE := len(e.plat.Cores)
 		load := e.load
@@ -564,14 +571,17 @@ func (e *Evaluator) annealMap(opt Options) ([]int, error) {
 			}
 			nc = mk
 		}
+		e.Obs.AnnealMoves.Inc()
 		dE := float64(nc - curCost)
 		if dE <= 0 || rng.Float64() < math.Exp(-dE/math.Max(temp, 1)) {
+			e.Obs.AnnealAccepts.Inc()
 			curCost = nc
 			if curCost < bestCost {
 				copy(best, cur)
 				bestCost = curCost
 			}
 		} else {
+			e.Obs.AnnealRejects.Inc()
 			cur[tIdx] = oldPE
 			if opt.Objective == Throughput {
 				load[newPE] -= dur(tIdx, newPE)

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer emits Chrome trace-event JSON — one complete-span event per
+// line, wrapped in a JSON array — loadable in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing. The format is the
+// trace-event "JSON Array" flavour: both tools accept a file whose
+// array is even left unclosed, so a crash mid-trace still loads.
+//
+// Spans carry wall-clock timestamps relative to the tracer's
+// construction instant. Tracing is a side channel: nothing read from
+// the clock feeds back into simulation or result bytes, so a traced
+// sweep is byte-identical to an untraced one. Emission locks and
+// allocates (it renders JSON); it is opt-in per span site behind a
+// nil receiver — every method is a no-op on a nil *Tracer, which is
+// what keeps the 0 B/op paths zero-allocation when tracing is off.
+type Tracer struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	c     io.Closer
+	epoch time.Time
+	n     int64
+	buf   []byte
+}
+
+// NewTracer starts a trace stream on w. If w is also an io.Closer,
+// Close closes it after finalizing the array.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{bw: bufio.NewWriter(w), epoch: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	t.bw.WriteString("[\n")
+	return t
+}
+
+// Arg is one key/value pair attached to a span's args object.
+type Arg struct {
+	// Key is the argument name (a code-controlled identifier).
+	Key string
+	// Val is the argument value.
+	Val int64
+}
+
+// A span name/category/key must not need JSON escaping — they are
+// code-controlled identifiers, never runtime input. appendString
+// quotes without escaping on that basis.
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// Span records a complete span (Chrome phase "X"): name and category,
+// a virtual thread ID tid grouping spans into Perfetto rows (e.g. one
+// row per pool worker), the wall-clock start and duration, and
+// optional args shown in the span's detail pane. Safe for concurrent
+// use; no-op on a nil receiver.
+func (t *Tracer) Span(name, cat string, tid int, start time.Time, d time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ts := start.Sub(t.epoch).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	dur := d.Microseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw == nil {
+		return
+	}
+	b := t.buf[:0]
+	if t.n > 0 {
+		b = append(b, ",\n"...)
+	}
+	b = append(b, `{"name":`...)
+	b = appendString(b, name)
+	b = append(b, `,"cat":`...)
+	b = appendString(b, cat)
+	b = append(b, `,"ph":"X","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendInt(b, ts, 10)
+	b = append(b, `,"dur":`...)
+	b = strconv.AppendInt(b, dur, 10)
+	if len(args) > 0 {
+		b = append(b, `,"args":{`...)
+		for i, a := range args {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendString(b, a.Key)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, a.Val, 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	t.buf = b
+	t.bw.Write(b)
+	// Flush per span: spans are emitted hundreds of times per sweep,
+	// not millions, and a flushed stream means a killed process still
+	// leaves a loadable trace behind.
+	t.bw.Flush()
+	t.n++
+}
+
+// Spans returns the number of spans emitted so far (0 on a nil
+// receiver) — the acceptance tests assert span coverage with it.
+func (t *Tracer) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Close finalizes the JSON array, flushes, and closes the underlying
+// writer when it is closeable. No-op on a nil receiver or a second
+// call.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw == nil {
+		return nil
+	}
+	t.bw.WriteString("\n]\n")
+	err := t.bw.Flush()
+	t.bw = nil
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -111,6 +111,32 @@ func (ev Event) Time() Time {
 	return ev.e.at
 }
 
+// KernelStats are the kernel's observability counters: plain fields
+// bumped inline on the (single-goroutine) hot path, so instrumentation
+// costs an increment and allocates nothing. Unlike Kernel.Executed,
+// the stats are monotonic for the kernel's whole lifetime — Reset
+// preserves them — because what they measure (pool effectiveness,
+// heap pressure across reuse) only exists across resets. Read them
+// with Kernel.Stats.
+type KernelStats struct {
+	// Scheduled counts events queued (Schedule/ScheduleP/
+	// ScheduleProc/At) since construction.
+	Scheduled uint64
+	// Executed counts events dispatched since construction (the
+	// monotonic twin of Kernel.Executed, which Reset zeroes).
+	Executed uint64
+	// Cancelled counts events removed by Cancel before firing.
+	Cancelled uint64
+	// PoolHits counts event records recycled from the free list;
+	// PoolMisses counts fresh heap allocations. Hits/(Hits+Misses) is
+	// the pool hit rate — near 1.0 in steady state.
+	PoolHits uint64
+	// PoolMisses counts event records that had to be heap-allocated.
+	PoolMisses uint64
+	// HeapMax is the event queue's high-water depth.
+	HeapMax int
+}
+
 // Kernel is a discrete-event simulator instance. It is not safe for
 // concurrent use; all model code runs on the kernel's goroutine (or in
 // lock-step handoff with it, for processes).
@@ -125,6 +151,7 @@ type Kernel struct {
 	Executed uint64
 	// procs tracks live processes so Drain can detect leaks in tests.
 	procs int
+	stats KernelStats
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -180,9 +207,12 @@ func (k *Kernel) at(t Time, prio int, fn func(), p *Proc) Event {
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
+		k.stats.PoolHits++
 	} else {
 		e = &event{}
+		k.stats.PoolMisses++
 	}
+	k.stats.Scheduled++
 	e.at, e.prio, e.seq, e.fn, e.proc = t, prio, k.seq, fn, p
 	k.seq++
 	k.heapPush(e)
@@ -206,9 +236,16 @@ func (k *Kernel) Cancel(ev Event) {
 	if e == nil || e.gen != ev.gen || e.index < 0 {
 		return
 	}
+	k.stats.Cancelled++
 	k.heapRemove(e.index)
 	k.recycle(e)
 }
+
+// Stats returns the kernel's monotonic observability counters. They
+// survive Reset — pool hit rate and heap high-water are precisely
+// about behavior across kernel reuse — and are a pure side channel:
+// reading them never perturbs event order or timing.
+func (k *Kernel) Stats() KernelStats { return k.stats }
 
 // Step executes the single next event. It returns false when the queue
 // is empty or the kernel has been stopped.
@@ -222,6 +259,7 @@ func (k *Kernel) Step() bool {
 	}
 	k.now = e.at
 	k.Executed++
+	k.stats.Executed++
 	fn, proc := e.fn, e.proc
 	// Recycle before dispatch: the handler may schedule new events and
 	// reuse this record immediately; fn/proc were copied out above.
@@ -266,7 +304,10 @@ func (k *Kernel) RunFor(d Time) uint64 {
 // events are cancelled (their records recycled, outstanding handles
 // invalidated by the generation bump). Reset panics if live processes
 // remain: their goroutines are parked inside model code and cannot be
-// reclaimed, so such a kernel must be discarded instead.
+// reclaimed, so such a kernel must be discarded instead. The Stats
+// counters are deliberately preserved — they measure behavior across
+// resets (pool hit rate, heap high-water) and are not observable
+// simulation state.
 func (k *Kernel) Reset() {
 	if k.procs != 0 {
 		panic(fmt.Sprintf("sim: Reset with %d live processes", k.procs))
@@ -306,6 +347,9 @@ func eventLess(a, b *event) bool {
 
 func (k *Kernel) heapPush(e *event) {
 	k.queue = append(k.queue, e)
+	if n := len(k.queue); n > k.stats.HeapMax {
+		k.stats.HeapMax = n
+	}
 	e.index = len(k.queue) - 1
 	k.siftUp(e.index)
 }

@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestKernelStats: the observability counters track scheduling, pool
+// reuse and heap depth, and survive Reset (unlike Executed).
+func TestKernelStats(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 4; i++ {
+		k.Schedule(Time(i+1), func() {})
+	}
+	ev := k.Schedule(100, func() { t.Error("cancelled event fired") })
+	k.Cancel(ev)
+	k.Run()
+
+	s := k.Stats()
+	if s.Scheduled != 5 {
+		t.Fatalf("Scheduled = %d, want 5", s.Scheduled)
+	}
+	if s.Executed != 4 {
+		t.Fatalf("Executed = %d, want 4", s.Executed)
+	}
+	if s.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", s.Cancelled)
+	}
+	if s.PoolHits+s.PoolMisses != s.Scheduled {
+		t.Fatalf("pool hits %d + misses %d != scheduled %d", s.PoolHits, s.PoolMisses, s.Scheduled)
+	}
+	if s.HeapMax != 5 {
+		t.Fatalf("HeapMax = %d, want 5", s.HeapMax)
+	}
+
+	// Second round on a reset kernel: records recycle from the pool
+	// (hits), and the monotonic stats keep counting while Executed
+	// restarts from zero.
+	k.Reset()
+	if k.Executed != 0 {
+		t.Fatal("Reset did not zero Executed")
+	}
+	if got := k.Stats(); got != s {
+		t.Fatalf("Reset changed stats: %+v -> %+v", s, got)
+	}
+	for i := 0; i < 3; i++ {
+		k.Schedule(Time(i+1), func() {})
+	}
+	k.Run()
+	s2 := k.Stats()
+	if s2.Scheduled != s.Scheduled+3 || s2.Executed != s.Executed+3 {
+		t.Fatalf("stats not monotonic across Reset: %+v -> %+v", s, s2)
+	}
+	if s2.PoolHits < s.PoolHits+3 {
+		t.Fatalf("reset kernel missed the pool: %+v", s2)
+	}
+	if s2.PoolMisses != s.PoolMisses {
+		t.Fatalf("reset kernel allocated fresh records: %+v", s2)
+	}
+}
