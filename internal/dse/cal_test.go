@@ -1,0 +1,169 @@
+package dse
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg pins testing/quick's randomness so property trials are
+// reproducible run to run (the properties quantify over the sweep
+// seed, which quick draws).
+func quickCfg(trials int) *quick.Config {
+	return &quick.Config{MaxCount: trials, Rand: rand.New(rand.NewSource(9))}
+}
+
+// calSweep expands the spec at the given seed and evaluates every
+// point on one context, returning results keyed by point ID.
+func calSweep(t *testing.T, spec string, seed uint64) []Result {
+	t.Helper()
+	sw, err := ParseSweep(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewEvalContext()
+	results := make([]Result, len(points))
+	for i, p := range points {
+		results[i] = ctx.Evaluate(p)
+		if results[i].Err != "" {
+			t.Fatalf("spec %q seed %d: point %d failed: %s", spec, seed, p.ID, results[i].Err)
+		}
+	}
+	return results
+}
+
+// calPairKey identifies a result's (platform, workload, heuristic)
+// coordinate so points differing only in fidelity can be paired.
+func calPairKey(p Point) [4]string {
+	return [4]string{p.Plat.String(), p.Workload, p.Heuristic, ""}
+}
+
+// TestCalFitDeterministic (property): for any sweep seed, the fitted
+// scale factors — and the full result bytes — of a calibration sweep
+// are identical across independent evaluations in different orders.
+func TestCalFitDeterministic(t *testing.T) {
+	spec := "plat=homog4;wl=synth10;heur=list,anneal;fid=cal:1"
+	prop := func(seed uint64) bool {
+		a := calSweep(t, spec, seed)
+		b := calSweep(t, spec, seed)
+		for i := range a {
+			ab, err := json.Marshal(a[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bb, err := json.Marshal(b[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(ab) != string(bb) {
+				t.Logf("seed %d point %d diverged:\n%s\n%s", seed, i, ab, bb)
+				return false
+			}
+			if a[i].Metrics.CalScale == 0 {
+				t.Logf("seed %d point %d: no fitted factor emitted", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCalReducesError (property): on synthetic workloads, calibrated
+// makespans of held-out points (group members that were not probed)
+// are no farther from the vp ground truth than the raw task-level
+// estimate, for any sweep seed — and strictly closer for at least one
+// trial, so the property is not vacuously holding on zero error.
+func TestCalReducesError(t *testing.T) {
+	spec := "plat=homog4,wireless;wl=synth12;heur=list,anneal;fid=mvp,vp64,cal:1"
+	sawStrict := false
+	prop := func(seed uint64) bool {
+		results := calSweep(t, spec, seed)
+		vp := map[[4]string]float64{}
+		mvp := map[[4]string]float64{}
+		for _, r := range results {
+			switch r.Point.Fidelity {
+			case "vp":
+				vp[calPairKey(r.Point)] = float64(r.Metrics.Makespan)
+			case "mvp":
+				mvp[calPairKey(r.Point)] = float64(r.Metrics.Makespan)
+			}
+		}
+		var calMAE, mvpMAE float64
+		n := 0
+		for _, r := range results {
+			if r.Point.Fidelity != "cal" || r.Point.probeIndex() >= 0 {
+				continue // held-out members only
+			}
+			key := calPairKey(r.Point)
+			truth, ok := vp[key]
+			if !ok {
+				t.Fatalf("seed %d: no vp ground truth for %v", seed, key)
+			}
+			calMAE += math.Abs(float64(r.Metrics.Makespan) - truth)
+			mvpMAE += math.Abs(mvp[key] - truth)
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("seed %d: no held-out cal points", seed)
+		}
+		calMAE /= float64(n)
+		mvpMAE /= float64(n)
+		if calMAE < mvpMAE {
+			sawStrict = true
+		}
+		if calMAE > mvpMAE {
+			t.Logf("seed %d: calibrated MAE %.0f ps > uncalibrated %.0f ps over %d held-out points",
+				seed, calMAE, mvpMAE, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(5)); err != nil {
+		t.Fatal(err)
+	}
+	if !sawStrict {
+		t.Fatal("vacuous: calibration never strictly improved on the raw estimate")
+	}
+}
+
+// TestCalDegeneratesToVP (property): with K covering every group
+// member, each cal point is its own probe and takes the vp
+// measurement verbatim — makespans (and therefore ranking) match
+// fid=vp64 exactly, for any sweep seed.
+func TestCalDegeneratesToVP(t *testing.T) {
+	spec := "plat=homog4;wl=synth10,jpeg;heur=list,anneal;fid=vp64,cal:2"
+	prop := func(seed uint64) bool {
+		results := calSweep(t, spec, seed)
+		vp := map[[4]string]float64{}
+		for _, r := range results {
+			if r.Point.Fidelity == "vp" {
+				vp[calPairKey(r.Point)] = float64(r.Metrics.Makespan)
+			}
+		}
+		for _, r := range results {
+			if r.Point.Fidelity != "cal" {
+				continue
+			}
+			if r.Point.probeIndex() < 0 {
+				t.Fatalf("seed %d: point %d not a probe despite K = group size", seed, r.Point.ID)
+			}
+			if got, want := float64(r.Metrics.Makespan), vp[calPairKey(r.Point)]; got != want {
+				t.Logf("seed %d point %d: cal makespan %.0f != vp %.0f", seed, r.Point.ID, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(4)); err != nil {
+		t.Fatal(err)
+	}
+}

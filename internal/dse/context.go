@@ -8,6 +8,7 @@ import (
 	"mpsockit/internal/mapping"
 	"mpsockit/internal/sim"
 	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/vp"
 	"mpsockit/internal/workload"
 )
 
@@ -25,12 +26,18 @@ import (
 // An EvalContext is not safe for concurrent use; Engine.Run gives
 // each worker its own.
 type EvalContext struct {
-	// k runs mapped executions and the RTOS scheduler; vk runs the
-	// instruction-level vp refinement. A kernel is Reset between
-	// points and discarded when an evaluation leaves live processes
-	// behind (parked RTOS services, deadlocked executions).
-	k  *sim.Kernel
-	vk *sim.Kernel
+	// k runs mapped executions and the RTOS scheduler. It is Reset
+	// between points and discarded when an evaluation leaves live
+	// processes behind (parked RTOS services, deadlocked executions).
+	k *sim.Kernel
+	// vps pools resettable virtual platforms for the instruction-level
+	// vp refinement, keyed by shape: core count and decoupling quantum.
+	// (The timing model and clock are fixed by vp.DefaultConfig, so
+	// they need no key component.) A pooled hit costs VP.Reset +
+	// LoadProgram instead of a kernel, CPU and MiB-store rebuild —
+	// VP.Reset's observably-fresh contract is what keeps pooled sweep
+	// bytes identical to fresh ones.
+	vps map[vpPoolKey]*vpEntry
 	// me is the reusable mapping scratch, rebound per point.
 	me mapping.Evaluator
 	// graphs caches built workload task graphs: every point of a
@@ -46,13 +53,34 @@ type EvalContext struct {
 	multis map[string]*multiEntry
 	// progs caches assembled vp calibration loops by iteration count.
 	progs map[int64]*isa.Program
+	// cals caches per-group calibration fits (fid=cal) by calKey: the
+	// probe measurements and least-squares factors are computed once
+	// per (platform, workload, probes) group per worker; any worker
+	// recomputes identical values, so sharding never changes bytes.
+	cals map[string]*calEntry
 
 	// obs is the optional instrumentation handle (SetObs); the zero
-	// value is inert. kBase/vkBase anchor kernel-stat baselines so
-	// counter growth survives kernel replacement.
-	obs    EvalObs
-	kBase  kernelBase
-	vkBase kernelBase
+	// value is inert. kBase anchors the mapping kernel's stat baseline
+	// so counter growth survives kernel replacement; each pooled VP
+	// carries its own baseline in its vpEntry.
+	obs   EvalObs
+	kBase kernelBase
+}
+
+// vpPoolKey identifies a reusable virtual-platform shape.
+type vpPoolKey struct {
+	cores   int
+	quantum int
+}
+
+// vpEntry is one pooled platform: the VP, its dedicated kernel, and
+// the kernel-stat baseline its observer deltas are computed against
+// (per entry, so alternating between pooled platforms never
+// re-baselines and double-counts).
+type vpEntry struct {
+	v    *vp.VP
+	k    *sim.Kernel
+	base kernelBase
 }
 
 type graphKey struct {
@@ -75,9 +103,11 @@ type multiEntry struct {
 // materialize on first use.
 func NewEvalContext() *EvalContext {
 	return &EvalContext{
+		vps:    map[vpPoolKey]*vpEntry{},
 		graphs: map[graphKey]*taskgraph.Graph{},
 		multis: map[string]*multiEntry{},
 		progs:  map[int64]*isa.Program{},
+		cals:   map[string]*calEntry{},
 	}
 }
 
@@ -98,6 +128,27 @@ func reuseKernel(kp **sim.Kernel) *sim.Kernel {
 		(*kp).Reset()
 	}
 	return *kp
+}
+
+// pooledVP returns a freshly-reset virtual platform of the requested
+// shape, building one (with its own kernel) on first sight. VP.Reset
+// reclaims platforms in any state — including a previous refinement
+// that timed out with cores still spinning — so a pooled platform is
+// always observably identical to vp.New on sim.NewKernel.
+func (c *EvalContext) pooledVP(cores, quantum int) *vp.VP {
+	key := vpPoolKey{cores: cores, quantum: quantum}
+	if e, ok := c.vps[key]; ok {
+		c.obs.VPHits.Inc()
+		e.v.Reset()
+		return e.v
+	}
+	c.obs.VPMisses.Inc()
+	cfg := vp.DefaultConfig(cores)
+	cfg.Quantum = quantum
+	k := sim.NewKernel()
+	e := &vpEntry{v: vp.New(k, cfg), k: k}
+	c.vps[key] = e
+	return e.v
 }
 
 // graph returns the point's workload task graph prototype, building

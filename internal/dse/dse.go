@@ -66,7 +66,7 @@
 //	app      = "jpeg" | "h264" | "carradio" | "synth" int ;
 //
 //	heur     = "list" | "anneal" | "exhaustive" ;
-//	fid      = "mvp" | "pipe" int | "vp" int ;
+//	fid      = "mvp" | "pipe" int | "vp" int | "cal" ":" int ;
 //
 // A mix platform token ("2xrisc+4xdsp@3200") builds the listed core
 // groups in order at class-default clocks and memories unless "@MHz"
@@ -74,7 +74,15 @@
 // ("multi:jpeg+carradio+synth8") evaluates the listed applications as
 // one concurrent usage scenario — the union of their task graphs is
 // mapped and executed with every application active at once, and the
-// concurrency analysis reports the scenario's worst-case load.
+// concurrency analysis reports the scenario's worst-case load. A
+// "cal:K" fidelity token scores points at task-level (mvp) speed with
+// calibrated makespans: per (platform, workload) group, up to K probe
+// mappings are measured on the instruction-level virtual platform,
+// per-PE-class WCET scale factors are fitted to the paired
+// (task-level estimate, vp measurement) samples by least squares, and
+// every point's bottleneck compute is rescaled by its class's factor
+// (probe points reuse their vp measurement verbatim, so K covering
+// the whole group degenerates to vp-identical ranking).
 // Sweep.Spec renders any sweep back to this grammar canonically;
 // parse→render→parse is the identity on expanded points.
 package dse
@@ -182,13 +190,31 @@ type Point struct {
 	Heuristic string `json:"heur"`
 	// Fidelity is mvp (one-shot task-level mapping.Execute), pipe
 	// (pipelined task-level), vp (instruction-level virtual platform
-	// with temporal decoupling) or rtos (online scheduler).
+	// with temporal decoupling), cal (task-level with WCET scale
+	// factors calibrated against vp probe measurements) or rtos
+	// (online scheduler).
 	Fidelity string `json:"fid"`
 	// Iterations is the pipelined frame count (pipe fidelity).
 	Iterations int `json:"iters,omitempty"`
 	// Quantum is the temporal-decoupling quantum in instructions per
-	// kernel event (vp fidelity).
+	// kernel event (vp and cal fidelities).
 	Quantum int `json:"quantum,omitempty"`
+	// CalProbes lists the probe mappings whose vp measurements
+	// calibrate this point's makespan (cal fidelity only), in group
+	// heuristic order. Stamped at expansion, so a point carries its
+	// group's full probe identity and any shard computes the identical
+	// fit without seeing the rest of the sweep.
+	CalProbes []CalProbe `json:"cal_probes,omitempty"`
+}
+
+// CalProbe names one calibration probe of a cal point's (platform,
+// workload) group: a sibling mapping identified by its heuristic and
+// mapping seed. The probe's mapping is executed at task level and
+// re-measured on the virtual platform; the pair calibrates the
+// group's WCET scale factors.
+type CalProbe struct {
+	Heur string `json:"heur"`
+	Seed uint64 `json:"seed"`
 }
 
 // Metrics is the measurement record of one evaluated design point.
@@ -226,6 +252,16 @@ type Metrics struct {
 	// the task-level mvp fidelity only — a vp-refined headline
 	// makespan has no consistent task-level split).
 	AppMakespanPS []int64 `json:"app_makespan_ps,omitempty"`
+	// CalScale is the fitted WCET scale factor applied to the point's
+	// bottleneck PE class (cal fidelity only).
+	CalScale float64 `json:"cal_scale,omitempty"`
+	// CalRMS is the calibration fit's root-mean-square residual across
+	// probe samples, in picoseconds (cal fidelity only) — the audit
+	// number for how well the scaled task-level model tracks the vp.
+	CalRMS float64 `json:"cal_rms,omitempty"`
+	// CalSamples is the number of probe measurements behind the fit
+	// (cal fidelity only).
+	CalSamples int `json:"cal_samples,omitempty"`
 }
 
 // Result pairs a point with its metrics; Err records evaluation

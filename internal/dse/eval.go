@@ -11,7 +11,6 @@ import (
 	"mpsockit/internal/rtos"
 	"mpsockit/internal/sim"
 	"mpsockit/internal/taskgraph"
-	"mpsockit/internal/vp"
 	"mpsockit/internal/workload"
 	"mpsockit/internal/xrand"
 )
@@ -60,7 +59,12 @@ func (c *EvalContext) Evaluate(p Point) Result {
 	}
 	if c.obs.SimExecuted != nil {
 		c.obs.absorb(&c.kBase, c.k)
-		c.obs.absorb(&c.vkBase, c.vk)
+		// Pooled-VP kernels carry per-entry baselines; absorbing an
+		// untouched entry adds zero to every counter, so sweeping the
+		// whole pool is order-independent and always correct.
+		for _, e := range c.vps {
+			c.obs.absorb(&e.base, e.k)
+		}
 	}
 	return r
 }
@@ -86,21 +90,9 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 	// (spans non-nil) where a single point uses its workload graph
 	// directly; everything else — heuristics, fidelities, metrics,
 	// vp refinement — is identical by construction.
-	var g *taskgraph.Graph
-	var spans []taskgraph.Span
-	var worstLoad float64
-	if len(p.Apps) > 1 {
-		mu, err := c.multiScenario(p)
-		if err != nil {
-			return Metrics{}, err
-		}
-		g, spans, worstLoad = mu.graph, mu.spans, mu.worstLoad
-	} else {
-		var err error
-		g, err = c.graph(p)
-		if err != nil {
-			return Metrics{}, err
-		}
+	g, spans, worstLoad, err := c.pointGraph(p)
+	if err != nil {
+		return Metrics{}, err
 	}
 	heur, err := mapping.ParseHeuristic(p.Heuristic)
 	if err != nil {
@@ -125,7 +117,7 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 	var stats mapping.ExecStats
 	var appMk []sim.Time
 	switch p.Fidelity {
-	case "mvp", "vp":
+	case "mvp", "vp", "cal":
 		if spans != nil {
 			stats, appMk, err = mapping.ExecuteMulti(a, spans)
 		} else {
@@ -162,7 +154,27 @@ func (c *EvalContext) evaluate(p Point) (Metrics, error) {
 		m.SimEvents = events
 		m.VPInstr = instr
 	}
+	if p.Fidelity == "cal" {
+		if err := c.calibrate(p, plat, stats, &m, units); err != nil {
+			return Metrics{}, err
+		}
+	}
 	return m, nil
+}
+
+// pointGraph returns the point's task graph: the cached union graph
+// with spans and worst-case load for a multi-app scenario, the cached
+// workload prototype otherwise.
+func (c *EvalContext) pointGraph(p Point) (*taskgraph.Graph, []taskgraph.Span, float64, error) {
+	if len(p.Apps) > 1 {
+		mu, err := c.multiScenario(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return mu.graph, mu.spans, mu.worstLoad, nil
+	}
+	g, err := c.graph(p)
+	return g, nil, 0, err
 }
 
 // buildPlatform constructs the spec'd platform on kernel k and
@@ -308,14 +320,12 @@ func (c *EvalContext) vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint
 		busiest = busiest[:16]
 	}
 	maxBusy := busiest[0].busy
-	cfg := vp.DefaultConfig(len(busiest))
-	cfg.Quantum = p.Quantum
-	if cfg.Quantum < 1 {
-		cfg.Quantum = 1
+	quantum := p.Quantum
+	if quantum < 1 {
+		quantum = 1
 	}
-	vk := reuseKernel(&c.vk)
-	v := vp.New(vk, cfg)
-	cyclePS := int64(sim.Second) / cfg.HzPer
+	v := c.pooledVP(len(busiest), quantum)
+	cyclePS := int64(v.CyclePeriod())
 	for i, e := range busiest {
 		iters := int64(e.busy) / cyclePS / cyclesPerIter
 		if iters < 1 {
@@ -332,7 +342,7 @@ func (c *EvalContext) vpRefine(p Point, stats mapping.ExecStats) (sim.Time, uint
 		return 0, 0, 0, fmt.Errorf("dse: vp refinement did not halt (point %d)", p.ID)
 	}
 	slack := stats.Makespan - maxBusy
-	return slack + vk.Now(), vk.Executed, v.Retired(), nil
+	return slack + v.K.Now(), v.K.Executed, v.Retired(), nil
 }
 
 // evalJobs scores a jobs design point: a deterministic bag of moldable

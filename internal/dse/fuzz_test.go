@@ -58,6 +58,8 @@ func FuzzParseSweep(f *testing.F) {
 		"wl=multi:synth2+synth2;plat=2xrisc",
 		"plat=celllike4;;wl= jpeg , carradio ;dvfs=-1",
 		"plat=03xrisc@01000;wl=synth02",
+		"plat=homog4;wl=jpeg,synth8;heur=list,anneal;fid=mvp,cal:2",
+		"fid=cal:32,cal:1,vp64;wl=multi:jpeg+synth4;plat=2xrisc+1xdsp",
 	} {
 		f.Add(seed)
 	}
@@ -112,6 +114,42 @@ func FuzzPlatToken(f *testing.F) {
 		}
 		if !reflect.DeepEqual(ps, ps2) {
 			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, ps, ps2)
+		}
+	})
+}
+
+// FuzzFidelityToken holds the fid-dimension token round trip,
+// covering mvp/pipeN/vpN and the cal:K calibration grammar: no token
+// panics the parser, accepted tokens carry bounded parameters (so a
+// hostile shard header cannot demand an unbounded probe fan-out), and
+// parse → canonical render → parse is the identity.
+func FuzzFidelityToken(f *testing.F) {
+	for _, seed := range []string{
+		"mvp", "pipe8", "pipe1", "vp64", "vp1",
+		"cal:1", "cal:4", "cal:32", "cal:0", "cal:33", "cal:-1",
+		"cal:", "cal", "vp", "pipe", "vp064", "cal:04", "cal:+1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		fs, err := parseFidelity(tok)
+		if err != nil {
+			return
+		}
+		switch fs.Kind {
+		case "mvp", "pipe", "vp", "cal":
+		default:
+			t.Fatalf("token %q parsed to unknown kind %q", tok, fs.Kind)
+		}
+		if fs.Kind == "cal" && (fs.Probes < 1 || fs.Probes > 32) {
+			t.Fatalf("token %q parsed to %d probes (want 1..32)", tok, fs.Probes)
+		}
+		fs2, err := parseFidelity(fs.String())
+		if err != nil {
+			t.Fatalf("canonical token %q (of %q) does not re-parse: %v", fs.String(), tok, err)
+		}
+		if !reflect.DeepEqual(fs, fs2) {
+			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, fs, fs2)
 		}
 	})
 }

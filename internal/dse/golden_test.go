@@ -3,7 +3,9 @@ package dse
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -75,6 +77,90 @@ func TestDefaultSweepGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("default sweep drifted from %s.\nThe header, fronts or hypervolumes changed — if intentional, regenerate with -update-golden and call the change out in the PR.\n--- got ---\n%s\n--- want ---\n%s",
+			path, truncate(buf.Bytes()), truncate(want))
+	}
+}
+
+// TestCalSweepGolden pins a small vp-heavy sweep — instruction-level
+// vp64 points next to cal:1 (one probe per group, siblings corrected)
+// and cal:4 (probes cover both heuristics, degenerating to vp) — to a
+// committed golden: the provenance header, every cal point's fitted
+// factor, residual and calibrated makespan, and the fronts and
+// hypervolumes. On top of the byte pin it asserts the calibration
+// acceptance bound: calibrated makespans are strictly closer to the
+// vp ground truth, in mean absolute error, than the raw task-level
+// estimates. Regenerate deliberately with:
+//
+//	go test ./internal/dse/ -run TestCalSweepGolden -update-golden
+func TestCalSweepGolden(t *testing.T) {
+	const spec = "plat=homog4,wireless;wl=jpeg,synth12;heur=list,anneal;fid=mvp,vp64,cal:1,cal:4"
+	const seed = 5
+	sw, err := ParseSweep(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sw.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, NewHeader(spec, seed, points, nil)); err != nil {
+		t.Fatal(err)
+	}
+	results := (&Engine{}).Run(points)
+	vp := map[[3]string]float64{}
+	mvp := map[[3]string]float64{}
+	key := func(p Point) [3]string { return [3]string{p.Plat.String(), p.Workload, p.Heuristic} }
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("point %d failed: %s", r.Point.ID, r.Err)
+		}
+		switch r.Point.Fidelity {
+		case "vp":
+			vp[key(r.Point)] = float64(r.Metrics.Makespan)
+		case "mvp":
+			mvp[key(r.Point)] = float64(r.Metrics.Makespan)
+		}
+	}
+	var calMAE, mvpMAE float64
+	n := 0
+	for _, r := range results {
+		if r.Point.Fidelity != "cal" {
+			continue
+		}
+		m := r.Metrics
+		fmt.Fprintf(&buf, "cal %3d %-18s %-8s %-7s K=%d scale=%.9f rms_ps=%.3f n=%d makespan_ps=%d\n",
+			r.Point.ID, r.Point.Plat.String(), r.Point.Workload, r.Point.Heuristic,
+			len(r.Point.CalProbes), m.CalScale, m.CalRMS, m.CalSamples, int64(m.Makespan))
+		truth := vp[key(r.Point)]
+		calMAE += math.Abs(float64(m.Makespan) - truth)
+		mvpMAE += math.Abs(mvp[key(r.Point)] - truth)
+		n++
+	}
+	calMAE /= float64(n)
+	mvpMAE /= float64(n)
+	if calMAE >= mvpMAE {
+		t.Errorf("calibration did not reduce error: calibrated MAE %.0f ps, raw task-level MAE %.0f ps (%d cal points)",
+			calMAE, mvpMAE, n)
+	}
+	front := GroupedFront(results)
+	buf.WriteString(FrontTable(results, front))
+	buf.WriteString(HVTable(Hypervolumes(results), false))
+
+	path := filepath.Join("testdata", "cal_sweep.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("calibration sweep drifted from %s.\nThe header, fitted factors, fronts or hypervolumes changed — if intentional, regenerate with -update-golden and call the change out in the PR.\n--- got ---\n%s\n--- want ---\n%s",
 			path, truncate(buf.Bytes()), truncate(want))
 	}
 }

@@ -20,22 +20,32 @@ type EvalObs struct {
 	// Errors counts evaluations that returned an error in Result.Err.
 	Errors *obs.Counter
 
-	// LatMVP, LatPipe, LatVP and LatJobs record per-point evaluation
-	// wall-clock latency in microseconds, one histogram per fidelity.
+	// LatMVP, LatPipe, LatVP, LatCal and LatJobs record per-point
+	// evaluation wall-clock latency in microseconds, one histogram per
+	// fidelity.
 	LatMVP  *obs.Histogram
 	LatPipe *obs.Histogram
 	LatVP   *obs.Histogram
+	LatCal  *obs.Histogram
 	LatJobs *obs.Histogram
 
 	// GraphHits/GraphMisses count workload-graph prototype cache
 	// lookups; MultiHits/MultiMisses the multi-app scenario cache;
-	// ProgHits/ProgMisses the vp calibration-loop program cache.
+	// ProgHits/ProgMisses the vp calibration-loop program cache;
+	// VPHits/VPMisses the pooled virtual-platform cache (a hit is a
+	// VP.Reset reuse, a miss builds a platform and its kernel);
+	// CalHits/CalMisses the per-group calibration-fit cache (a miss
+	// measures the group's probes on the vp and fits the factors).
 	GraphHits   *obs.Counter
 	GraphMisses *obs.Counter
 	MultiHits   *obs.Counter
 	MultiMisses *obs.Counter
 	ProgHits    *obs.Counter
 	ProgMisses  *obs.Counter
+	VPHits      *obs.Counter
+	VPMisses    *obs.Counter
+	CalHits     *obs.Counter
+	CalMisses   *obs.Counter
 
 	// SimScheduled/SimExecuted/SimCancelled aggregate kernel event
 	// counts across every kernel the context used; PoolHits/PoolMisses
@@ -76,6 +86,7 @@ func NewEvalObs(r *obs.Registry) EvalObs {
 		LatMVP:  latency("mvp"),
 		LatPipe: latency("pipe"),
 		LatVP:   latency("vp"),
+		LatCal:  latency("cal"),
 		LatJobs: latency("jobs"),
 
 		GraphHits:   cacheHit("graph"),
@@ -84,6 +95,10 @@ func NewEvalObs(r *obs.Registry) EvalObs {
 		MultiMisses: cacheMiss("multi"),
 		ProgHits:    cacheHit("prog"),
 		ProgMisses:  cacheMiss("prog"),
+		VPHits:      cacheHit("vp"),
+		VPMisses:    cacheMiss("vp"),
+		CalHits:     cacheHit("cal"),
+		CalMisses:   cacheMiss("cal"),
 
 		SimScheduled: r.Counter("sim_events_scheduled_total", "Kernel events scheduled."),
 		SimExecuted:  r.Counter("sim_events_executed_total", "Kernel events executed."),
@@ -113,6 +128,8 @@ func (o *EvalObs) latency(fid string) *obs.Histogram {
 		return o.LatPipe
 	case "vp":
 		return o.LatVP
+	case "cal":
+		return o.LatCal
 	case "jobs":
 		return o.LatJobs
 	}

@@ -56,6 +56,13 @@ func EstCost(p Point) float64 {
 		c *= 1 + float64(it)/4
 	case "vp":
 		c *= 30
+	case "cal":
+		// A cal point is task-level plus its share of the group's
+		// probe measurements (~30× each, paid once per group by
+		// whichever shard sees the group first); averaging the probe
+		// cost over members keeps shard boundaries near the truth
+		// without knowing the group size here.
+		c *= 1 + 15*float64(len(p.CalProbes))
 	case "rtos":
 		n := p.N
 		if n <= 0 {

@@ -38,18 +38,21 @@ func (w WorkloadSpec) String() string {
 
 // FidelitySpec names one simulation-fidelity dimension value.
 type FidelitySpec struct {
-	Kind       string // mvp | pipe | vp
+	Kind       string // mvp | pipe | vp | cal
 	Iterations int    // pipe
-	Quantum    int    // vp
+	Quantum    int    // vp, cal
+	Probes     int    // cal: vp probe mappings per (platform, workload) group
 }
 
-// String renders the fidelity token ("mvp", "pipe8", "vp64").
+// String renders the fidelity token ("mvp", "pipe8", "vp64", "cal:4").
 func (f FidelitySpec) String() string {
 	switch f.Kind {
 	case "pipe":
 		return fmt.Sprintf("pipe%d", f.Iterations)
 	case "vp":
 		return fmt.Sprintf("vp%d", f.Quantum)
+	case "cal":
+		return fmt.Sprintf("cal:%d", f.Probes)
 	}
 	return f.Kind
 }
@@ -114,7 +117,7 @@ func (s *Sweep) Points() ([]Point, error) {
 						heurs = []string{"-"}
 						fids = []FidelitySpec{{Kind: "rtos"}}
 					}
-					for _, h := range heurs {
+					for hi, h := range heurs {
 						for _, f := range fids {
 							ps := plat
 							ps.Fabric = fab
@@ -131,6 +134,28 @@ func (s *Sweep) Points() ([]Point, error) {
 								Fidelity:     f.Kind,
 								Iterations:   f.Iterations,
 								Quantum:      f.Quantum,
+							}
+							if f.Kind == "cal" {
+								if p.Quantum < 1 {
+									p.Quantum = calProbeQuantum
+								}
+								// The group's probes are its first K sibling
+								// mappings (same plat/fab/dvfs/wl, the other
+								// heuristics of this fidelity). Sibling IDs
+								// differ by the fidelity stride, so each
+								// probe's mapping seed is recomputable here
+								// and identical for every group member.
+								k := f.Probes
+								if k > len(heurs) {
+									k = len(heurs)
+								}
+								for m := 0; m < k; m++ {
+									pid := id - (hi-m)*len(fids)
+									p.CalProbes = append(p.CalProbes, CalProbe{
+										Heur: heurs[m],
+										Seed: seedFor(s.Seed, "point", pid),
+									})
+								}
 							}
 							if wl.Kind == "multi" {
 								// The token is the workload identity; each
@@ -392,5 +417,19 @@ func parseFidelity(tok string) (FidelitySpec, error) {
 		}
 		return FidelitySpec{Kind: "vp", Quantum: n}, nil
 	}
+	if rest, ok := strings.CutPrefix(tok, "cal:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 || n > 32 {
+			return FidelitySpec{}, fmt.Errorf("dse: bad fidelity token %q (want cal:K, 1 <= K <= 32)", tok)
+		}
+		// Probe measurements run on the decoupled vp at the default
+		// sweep quantum; precise probing is what fid=vp1 is for.
+		return FidelitySpec{Kind: "cal", Probes: n, Quantum: calProbeQuantum}, nil
+	}
 	return FidelitySpec{}, fmt.Errorf("dse: unknown fidelity %q", tok)
 }
+
+// calProbeQuantum is the temporal-decoupling quantum calibration
+// probes are measured at — the default sweep's vp quantum, so cal
+// probes reuse the same pooled platforms a fid=vp64 axis warms.
+const calProbeQuantum = 64

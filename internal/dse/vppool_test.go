@@ -1,0 +1,165 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mpsockit/internal/obs"
+	"mpsockit/internal/xrand"
+)
+
+// vpPoolPoints builds vp-fidelity points at the given quantum across
+// platforms of different widths, so a reused context alternates
+// between pool entries instead of hitting one platform repeatedly.
+func vpPoolPoints(quantum int) []Point {
+	mk := func(id int, plat PlatSpec, wl string, n int, heur string) Point {
+		return Point{
+			ID: id, Seed: seedFor(23, "point", id),
+			Plat: plat, Workload: wl, N: n,
+			WorkloadSeed: seedFor(23, "wl/"+wl, n),
+			Heuristic:    heur, Fidelity: "vp", Quantum: quantum,
+		}
+	}
+	return []Point{
+		mk(0, PlatSpec{Kind: "wireless", Fabric: "mesh", DVFS: 1}, "jpeg", 0, "list"),
+		mk(1, PlatSpec{Kind: "homog", Cores: 4, Fabric: "bus", DVFS: 0}, "synth", 12, "anneal"),
+		mk(2, PlatSpec{Kind: "celllike", Cores: 6, Fabric: "mesh", DVFS: 2}, "h264", 0, "list"),
+		mk(3, PlatSpec{Kind: "homog", Cores: 2, Fabric: "mesh", DVFS: 1}, "synth", 8, "anneal"),
+	}
+}
+
+// TestVPPoolIdentity: vp-fidelity metrics from pooled, reset
+// platforms are byte-identical to fresh-context evaluations, across
+// precise and decoupled quanta, with pool entries revisited after
+// other shapes have run in between.
+func TestVPPoolIdentity(t *testing.T) {
+	for _, quantum := range []int{1, 16, 64} {
+		t.Run(fmt.Sprintf("quantum%d", quantum), func(t *testing.T) {
+			points := vpPoolPoints(quantum)
+			want := make([]string, len(points))
+			for i, p := range points {
+				r := NewEvalContext().Evaluate(p)
+				if r.Err != "" {
+					t.Fatalf("point %d failed: %s", p.ID, r.Err)
+				}
+				b, err := json.Marshal(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = string(b)
+			}
+			ctx := NewEvalContext()
+			// Three passes: first populates the pool, the rest reuse
+			// every entry after all the others have dirtied their own.
+			for pass := 0; pass < 3; pass++ {
+				for i, p := range points {
+					b, err := json.Marshal(ctx.Evaluate(p))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(b) != want[i] {
+						t.Fatalf("pass %d: pooled VP diverged on point %d:\nfresh  %s\npooled %s",
+							pass, p.ID, want[i], b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVPPoolHammer reuses one context across 200 randomized points —
+// shapes, quanta, workloads and heuristics all drawn from a seeded
+// stream, vp-heavy with mvp/pipe/jobs points interleaved to churn the
+// mapping kernel between refinements — and checks every result
+// against a fresh-context evaluation. Run under -race in CI, this is
+// the pooled-reuse mirror of TestEvalContextReuseIdentity.
+func TestVPPoolHammer(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	r := xrand.New(77)
+	plats := []PlatSpec{
+		{Kind: "homog", Cores: 2, Fabric: "bus", DVFS: 0},
+		{Kind: "homog", Cores: 4, Fabric: "mesh", DVFS: 1},
+		{Kind: "wireless", Fabric: "mesh", DVFS: 1},
+		{Kind: "celllike", Cores: 5, Fabric: "mesh", DVFS: 2},
+	}
+	quanta := []int{1, 16, 64}
+	heurs := []string{"list", "anneal"}
+	wls := []string{"synth", "jpeg", "carradio"}
+	ctx := NewEvalContext()
+	for i := 0; i < n; i++ {
+		p := Point{
+			ID:        i,
+			Seed:      seedFor(77, "hammer", i),
+			Plat:      plats[r.Intn(len(plats))],
+			Heuristic: heurs[r.Intn(len(heurs))],
+			Fidelity:  "vp",
+			Quantum:   quanta[r.Intn(len(quanta))],
+		}
+		p.Workload = wls[r.Intn(len(wls))]
+		if p.Workload == "synth" {
+			p.N = 6 + r.Intn(8)
+		}
+		p.WorkloadSeed = seedFor(77, "hammer/wl", r.Intn(4))
+		switch r.Intn(8) {
+		case 0: // interleave task-level points so c.k churns too
+			p.Fidelity, p.Quantum = "mvp", 0
+		case 1:
+			p.Fidelity, p.Quantum, p.Iterations = "pipe", 0, 4
+			p.Heuristic = heurs[0]
+		case 2:
+			p.Fidelity, p.Quantum = "rtos", 0
+			p.Workload, p.N, p.Heuristic = "jobs", 12, "-"
+		}
+		pooled := ctx.Evaluate(p)
+		fresh := NewEvalContext().Evaluate(p)
+		pb, err := json.Marshal(pooled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := json.Marshal(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pb) != string(fb) {
+			t.Fatalf("point %d (%+v): pooled diverged:\nfresh  %s\npooled %s", i, p, fb, pb)
+		}
+	}
+}
+
+// TestVPPoolObsNoDoubleCount: aggregated kernel-event counters are
+// identical whether vp points run on one context (alternating pooled
+// platforms, per-entry baselines) or on a fresh context per point —
+// the pooled path must neither double-count nor drop kernel stats.
+func TestVPPoolObsNoDoubleCount(t *testing.T) {
+	points := vpPoolPoints(16)
+	sweep := func(perPoint bool) int64 {
+		reg := obs.NewRegistry()
+		eo := NewEvalObs(reg)
+		ctx := NewEvalContext()
+		ctx.SetObs(eo)
+		for pass := 0; pass < 2; pass++ {
+			for _, p := range points {
+				if perPoint {
+					ctx = NewEvalContext()
+					ctx.SetObs(eo)
+				}
+				if r := ctx.Evaluate(p); r.Err != "" {
+					t.Fatalf("point %d failed: %s", p.ID, r.Err)
+				}
+			}
+		}
+		return eo.SimExecuted.Value()
+	}
+	pooled := sweep(false)
+	fresh := sweep(true)
+	if pooled != fresh {
+		t.Fatalf("sim_events_executed_total: pooled context %d, fresh contexts %d", pooled, fresh)
+	}
+	if pooled == 0 {
+		t.Fatal("vacuous: no kernel events absorbed")
+	}
+}

@@ -1,0 +1,276 @@
+package vp
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mpsockit/internal/isa"
+	"mpsockit/internal/sim"
+)
+
+// fingerprint captures everything a platform run makes observable:
+// the kernel clock and event count, per-core architectural state,
+// console streams, peripheral state and retired-instruction count.
+type fingerprint struct {
+	Now     sim.Time
+	Events  uint64
+	Retired uint64
+	Regs    [][32]uint32
+	PC      []uint32
+	Cycles  []uint64
+	Console [][]uint32
+	Timer   []uint32
+	Sems    [SemCount]uint32
+	Halted  []bool
+}
+
+func fingerprintOf(v *VP) fingerprint {
+	f := fingerprint{
+		Now:     v.K.Now(),
+		Events:  v.K.Executed,
+		Retired: v.Retired(),
+		Sems:    v.sems,
+	}
+	for i, c := range v.CPUs {
+		f.Regs = append(f.Regs, c.Regs)
+		f.PC = append(f.PC, c.PC)
+		f.Cycles = append(f.Cycles, c.Cycles)
+		f.Halted = append(f.Halted, c.Halted)
+		f.Console = append(f.Console, append([]uint32{}, v.Console[i]...))
+		f.Timer = append(f.Timer, v.timerCount[i])
+	}
+	return f
+}
+
+// workout is a 2-core program pair that touches every subsystem Reset
+// must scrub: shared memory, mailboxes + interrupts, a periodic
+// timer, the hardware semaphores and both consoles.
+func workout(t *testing.T) [2]*isa.Program {
+	t.Helper()
+	return [2]*isa.Program{
+		assemble(t, `
+			.entry main
+		handler:
+			addi s1, s1, 1
+			addi v0, r0, 14
+			ecall                 # iret
+		main:
+			li   t0, 0xF0000008   # timer period
+			li   t1, 500
+			sw   t1, 0(t0)
+			li   s2, 0x40000000
+		acq:
+			lw   t1, 0x100(s0)    # sem 0 try-acquire (s0 = 0, MMIO base folded below)
+			li   t2, 0xF0000100
+			lw   t1, 0(t2)
+			beq  t1, r0, acq
+			li   t3, 77
+			sw   t3, 0(s2)        # shared write
+			sw   r0, 0(t2)        # sem release
+			li   t0, 0xF0000020
+			li   t1, 0x10009      # mbox send 9 -> core 1
+			sw   t1, 0(t0)
+			addi t4, r0, 3
+		spin:
+			blt  s1, t4, spin     # wait for 3 timer ticks
+			li   t0, 0xF0000008
+			sw   r0, 0(t0)        # stop timer
+			move a0, s1
+			addi v0, r0, 1
+			ecall                 # print tick count
+			halt
+		`),
+		assemble(t, `
+			li   t0, 0x40000000
+		wait:
+			lw   t1, 0(t0)
+			beq  t1, r0, wait
+			li   t2, 0xF0000024   # mbox recv (polled; IRQs stay disabled)
+		drain:
+			lw   a0, 0(t2)
+			beq  a0, r0, drain
+			addi v0, r0, 1
+			ecall                 # print mailbox payload
+			lw   a0, 0(t0)
+			addi v0, r0, 1
+			ecall                 # print shared value
+			halt
+		`),
+	}
+}
+
+func runWorkout(t *testing.T, v *VP, progs [2]*isa.Program) fingerprint {
+	t.Helper()
+	v.LoadProgram(0, progs[0])
+	v.LoadProgram(1, progs[1])
+	v.CPUs[0].IntVector = 0
+	v.CPUs[0].IntEnabled = true
+	v.Start()
+	if !v.RunUntilHalted(sim.Second) {
+		t.Fatal("workout did not halt")
+	}
+	return fingerprintOf(v)
+}
+
+// TestResetObservablyFresh: a reset platform re-runs the same program
+// with a byte-identical observable outcome to a brand-new platform on
+// a brand-new kernel — clock, event count, consoles, architectural
+// state — across precise and temporally-decoupled quanta, and with a
+// different intervening program to prove no state bleeds through.
+func TestResetObservablyFresh(t *testing.T) {
+	progs := workout(t)
+	other := [2]*isa.Program{
+		assemble(t, `
+			li  t0, 0x40000000
+			li  t1, 0xdead
+			sw  t1, 0x400(t0)
+			halt
+		`),
+		assemble(t, `
+			addi a0, r0, 5
+			addi v0, r0, 1
+			ecall
+			halt
+		`),
+	}
+	for _, quantum := range []int{1, 16, 64} {
+		t.Run(fmt.Sprintf("quantum%d", quantum), func(t *testing.T) {
+			cfg := DefaultConfig(2)
+			cfg.Quantum = quantum
+			fresh := New(sim.NewKernel(), cfg)
+			want := runWorkout(t, fresh, progs)
+
+			pooled := New(sim.NewKernel(), cfg)
+			runWorkout(t, pooled, other) // dirty it with a different run
+			pooled.Reset()
+			got := runWorkout(t, pooled, progs)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("reset platform diverged from fresh:\nfresh %+v\nreset %+v", want, got)
+			}
+			// Twice more on the same instance: steady-state reuse.
+			for round := 0; round < 2; round++ {
+				pooled.Reset()
+				if got := runWorkout(t, pooled, progs); !reflect.DeepEqual(got, want) {
+					t.Fatalf("round %d diverged: %+v", round, got)
+				}
+			}
+		})
+	}
+}
+
+// TestResetMemoryFullyCleared: bytes written by program load, guest
+// stores and Restore are all zero after Reset, including a Restore
+// whose snapshot is wider than anything the run itself dirtied.
+func TestResetMemoryFullyCleared(t *testing.T) {
+	k := sim.NewKernel()
+	v := New(k, DefaultConfig(1))
+	v.LoadProgram(0, assemble(t, `
+		li  t0, 0x40000000
+		li  t1, 0x5a5a
+		sw  t1, 0x200(t0)
+		sw  t1, 0x100(r0)   # local store, beyond the image
+		halt
+	`))
+	v.Start()
+	if !v.RunUntilHalted(sim.Second) {
+		t.Fatal("did not halt")
+	}
+	snap := v.Snapshot()
+	snap.Locals[0][LocalSize-1] = 0xAB // dirty the far end via Restore
+	snap.Shared[SharedSize-1] = 0xCD
+	v.Restore(snap)
+	v.Reset()
+	for i, b := range v.Locals[0] {
+		if b != 0 {
+			t.Fatalf("local byte %#x = %#x after Reset", i, b)
+		}
+	}
+	for i, b := range v.Shared {
+		if b != 0 {
+			t.Fatalf("shared byte %#x = %#x after Reset", i, b)
+		}
+	}
+}
+
+// TestResetStaleEventHandles: timer and user event handles taken
+// before a Reset are invalidated by it — Cancel afterwards is a
+// harmless no-op and the handles report not-pending.
+func TestResetStaleEventHandles(t *testing.T) {
+	k := sim.NewKernel()
+	v := New(k, DefaultConfig(1))
+	v.LoadProgram(0, assemble(t, `
+		li   t0, 0xF0000008
+		li   t1, 1000
+		sw   t1, 0(t0)      # arm the periodic timer
+	spin:
+		j    spin
+	`))
+	v.Start()
+	k.RunFor(100 * sim.Microsecond)
+	stale := k.Schedule(sim.Second, func() { t.Error("stale event fired after Reset") })
+	timerEv := v.timerEvents[0]
+	if !timerEv.Pending() {
+		t.Fatal("timer never armed")
+	}
+	v.Reset()
+	if stale.Pending() || timerEv.Pending() {
+		t.Fatal("pre-Reset handles still pending")
+	}
+	k.Cancel(stale) // must be no-ops
+	k.Cancel(timerEv)
+	k.Run()
+	if k.Executed != 0 {
+		t.Fatalf("reset kernel executed %d events with nothing scheduled", k.Executed)
+	}
+}
+
+// TestResetRunawayAndSuspended: Reset reclaims cores that never halt
+// (spin loops) and platforms frozen mid-suspension, then supports a
+// clean fresh run.
+func TestResetRunawayAndSuspended(t *testing.T) {
+	progs := workout(t)
+	want := runWorkout(t, New(sim.NewKernel(), DefaultConfig(2)), progs)
+
+	spin := assemble(t, `
+	loop:
+		addi s2, s2, 1
+		j    loop
+	`)
+	for _, suspend := range []bool{false, true} {
+		k := sim.NewKernel()
+		v := New(k, DefaultConfig(2))
+		v.LoadProgram(0, spin)
+		v.LoadProgram(1, spin)
+		v.Start()
+		k.RunFor(10 * sim.Microsecond)
+		if suspend {
+			v.Suspend()
+			k.RunFor(sim.Microsecond)
+		}
+		v.Reset()
+		if k.LiveProcs() != 0 {
+			t.Fatalf("suspend=%v: %d live processes survived Reset", suspend, k.LiveProcs())
+		}
+		if got := runWorkout(t, v, progs); !reflect.DeepEqual(got, want) {
+			t.Fatalf("suspend=%v: post-reset run diverged:\nfresh %+v\nreset %+v", suspend, want, got)
+		}
+	}
+}
+
+// TestResetClearsDebugHooks: installed hooks and the instruction
+// budget do not survive into the next tenant's run.
+func TestResetClearsDebugHooks(t *testing.T) {
+	v := New(sim.NewKernel(), DefaultConfig(1))
+	v.OnStep = func(int, uint32) bool { return true }
+	v.OnIRQ = func(int) {}
+	v.OnMemAccess = func(int, uint32, bool, uint32) {}
+	v.InstrBudget = 5
+	v.Reset()
+	if v.OnStep != nil || v.OnIRQ != nil || v.OnMemAccess != nil {
+		t.Fatal("debug hooks survived Reset")
+	}
+	if v.InstrBudget != 0 || v.Retired() != 0 {
+		t.Fatal("instruction budget state survived Reset")
+	}
+}
