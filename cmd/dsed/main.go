@@ -1,22 +1,40 @@
-// Command dsed is the fault-tolerant sweep coordinator: it expands a
-// sweep once, serves contiguous point-ID leases to dse workers over
-// HTTP, accumulates their streamed JSONL result lines idempotently,
-// and writes a final file byte-identical to a fault-free
-// single-worker run — regardless of how many workers joined, died,
-// stalled, retried or raced while the sweep ran.
+// Command dsed is the fault-tolerant multi-tenant sweep service: it
+// holds a registry of concurrent sweeps, serves contiguous point-ID
+// leases to dse workers over HTTP under cost-weighted fair
+// scheduling, accumulates their streamed JSONL result lines
+// idempotently per sweep, and produces for every sweep a final file
+// byte-identical to a fault-free single-worker run — regardless of
+// how many workers or tenants joined, died, stalled, retried or raced.
 //
 // Usage:
 //
 //	dsed [-addr :9090] [-sweep SPEC] [-seed S] [-out FILE]
-//	     [-checkpoint FILE] [-resume] [-lease-timeout D] [-chunks N]
+//	     [-checkpoint FILE] [-checkpoint-dir DIR] [-resume]
+//	     [-max-sweeps N] [-disk-budget BYTES] [-affinity-debt C]
+//	     [-lease-timeout D] [-chunks N] [-drain-timeout D]
 //	     [-pareto] [-hypervolume] [-status-interval D] [-pprof]
 //
-// The coordinator serves Prometheus metrics at GET /metrics (lease
-// grants/reclaims/steals, accepted and duplicate lines, per-worker
-// heartbeat age) and an enriched JSON GET /status with a per-worker
-// table, points/sec and a cost-weighted ETA; -status-interval logs the
-// same progress line periodically, and -pprof opts into the standard
-// net/http/pprof profiling endpoints. See docs/observability.md.
+// Two modes:
+//
+//   - Single-shot (boot) mode, the default: -sweep names one sweep,
+//     dsed serves it to workers, writes -out on completion and exits —
+//     the PR-6 coordinator behavior, unchanged.
+//
+//   - Service mode, -sweep "": dsed starts with an empty registry and
+//     serves until signalled. Tenants register sweeps over HTTP
+//     (POST /sweeps with {"spec":..., "seed":...}), watch them
+//     (GET /sweeps, GET /sweeps/{id}, GET /sweeps/{id}/front), fetch
+//     finished output (GET /sweeps/{id}/result) and cancel
+//     (DELETE /sweeps/{id}). Admission control bounds active sweeps
+//     (-max-sweeps → 429) and checkpoint disk (-disk-budget → 507).
+//
+// With -checkpoint-dir every sweep keeps a crash-resumable append-only
+// log there; a restarted dsed rescans the directory and resumes every
+// sweep it finds, so a coordinator crash with N sweeps active loses
+// only unacked work. On SIGTERM/SIGINT the coordinator drains
+// gracefully: no new leases, in-flight leases flush (bounded by
+// -drain-timeout), checkpoints persist, exit 0. See docs/dsed.md for
+// the protocol and failure-mode reference.
 //
 // Workers join with:
 //
@@ -29,19 +47,13 @@
 // every per-point seed derives from the sweep seed alone, so repeated
 // lines are byte-identical and dedupe on arrival; conflicting bytes
 // mean a drifted engine and are refused loudly.
-//
-// With -checkpoint, every accepted line is appended to a JSONL log as
-// it arrives; restarting dsed with -resume re-accepts the log (even
-// with a torn final line from a crash) and continues the sweep where
-// it stopped. On SIGINT/SIGTERM the coordinator flushes the
-// checkpoint and exits nonzero; the sweep resumes later. See
-// docs/dsed.md for the protocol and failure-mode reference.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -57,21 +69,26 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9090", "HTTP listen address for the worker protocol")
-	sweepSpec := flag.String("sweep", "default", "sweep preset (smoke, default) or dimension list")
-	seed := flag.Uint64("seed", 1, "sweep seed; same seed + same sweep = identical output")
-	out := flag.String("out", "dse.jsonl", "final merged JSONL results file, written on completion")
-	checkpoint := flag.String("checkpoint", "", "append accepted result lines to this JSONL log as they arrive (crash protection)")
+	sweepSpec := flag.String("sweep", "default", "boot sweep preset (smoke, default) or dimension list; empty for multi-tenant service mode")
+	seed := flag.Uint64("seed", 1, "boot sweep seed; same seed + same sweep = identical output")
+	out := flag.String("out", "dse.jsonl", "final merged JSONL results file, written on boot-sweep completion")
+	checkpoint := flag.String("checkpoint", "", "append the boot sweep's accepted result lines to this JSONL log (crash protection)")
+	checkpointDir := flag.String("checkpoint-dir", "", "per-sweep checkpoint logs live here as <sweep-id>.jsonl; rescanned and resumed on restart")
 	resume := flag.Bool("resume", false, "re-accept the -checkpoint log before serving (header must match)")
+	maxSweeps := flag.Int("max-sweeps", 16, "admission limit on concurrently active sweeps (further POST /sweeps get 429)")
+	diskBudget := flag.Int64("disk-budget", 0, "refuse new sweeps with 507 once checkpoint logs exceed this many bytes; 0 = unlimited")
+	affinityDebt := flag.Float64("affinity-debt", 0, "fairness debt (EstCost units) another sweep must accumulate before a worker is rebalanced off its cached sweep; 0 = auto")
 	leaseTimeout := flag.Duration("lease-timeout", 30*time.Second, "deadline before an unacked lease is reclaimed and reissued")
-	chunks := flag.Int("chunks", 32, "target number of fresh leases the sweep is cut into")
-	pareto := flag.Bool("pareto", false, "print the Pareto front and ASCII scatter on completion")
-	hypervolume := flag.Bool("hypervolume", false, "print the per-workload front hypervolume indicator on completion")
+	chunks := flag.Int("chunks", 32, "target number of fresh leases each sweep is cut into")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, wait at most this long for in-flight leases before exiting")
+	pareto := flag.Bool("pareto", false, "print the boot sweep's Pareto front and ASCII scatter on completion")
+	hypervolume := flag.Bool("hypervolume", false, "print the boot sweep's per-workload front hypervolume indicator on completion")
 	statusInterval := flag.Duration("status-interval", 30*time.Second, "log a live progress line (points/sec, ETA) this often; 0 disables")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
-	if *resume && *checkpoint == "" {
-		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	if *resume && *checkpoint == "" && *checkpointDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint or -checkpoint-dir"))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -79,14 +96,18 @@ func main() {
 
 	logger := log.New(os.Stderr, "dsed: ", log.LstdFlags)
 	srv, err := coord.New(coord.Config{
-		Spec:           *sweepSpec,
-		Seed:           *seed,
-		LeaseTimeout:   *leaseTimeout,
-		Chunks:         *chunks,
-		CheckpointPath: *checkpoint,
-		Resume:         *resume,
-		Log:            logger,
-		ProgressEvery:  50,
+		Spec:            *sweepSpec,
+		Seed:            *seed,
+		LeaseTimeout:    *leaseTimeout,
+		Chunks:          *chunks,
+		CheckpointPath:  *checkpoint,
+		Resume:          *resume,
+		CheckpointDir:   *checkpointDir,
+		MaxSweeps:       *maxSweeps,
+		DiskBudgetBytes: *diskBudget,
+		AffinityDebt:    *affinityDebt,
+		Log:             logger,
+		ProgressEvery:   50,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,14 +138,20 @@ func main() {
 	}()
 	st := srv.Status()
 	logger.Printf("listening on %s (metrics at /metrics, status at /status)", ln.Addr())
-	if *checkpoint != "" {
+	if *checkpointDir != "" {
+		logger.Printf("checkpointing sweeps under %s (%d registered)", *checkpointDir, len(st.Sweeps))
+	} else if *checkpoint != "" {
 		logger.Printf("checkpointing accepted results to %s", *checkpoint)
 	}
 	if *pprofOn {
 		logger.Printf("pprof enabled at /debug/pprof/")
 	}
-	logger.Printf("coordinating %q seed %d (%d points, %d done)",
-		*sweepSpec, *seed, st.Total, st.Done)
+	if *sweepSpec != "" {
+		logger.Printf("coordinating %q seed %d (%d points, %d done)",
+			*sweepSpec, *seed, st.Total, st.Done)
+	} else {
+		logger.Printf("multi-tenant service mode: register sweeps with POST /sweeps (limit %d active)", *maxSweeps)
+	}
 
 	if *statusInterval > 0 {
 		go func() {
@@ -138,8 +165,14 @@ func main() {
 					return
 				case <-t.C:
 					st := srv.Status()
-					line := fmt.Sprintf("live %d/%d points, %d workers, %d leases out, %.1f points/sec",
-						st.Done, st.Total, st.Workers, st.ActiveLeases, st.PointsPerSec)
+					active := 0
+					for _, row := range st.Sweeps {
+						if row.State == coord.SweepActive {
+							active++
+						}
+					}
+					line := fmt.Sprintf("live %d/%d points, %d sweeps active, %d workers, %d leases out, %.1f points/sec",
+						st.Done, st.Total, active, st.Workers, st.ActiveLeases, st.PointsPerSec)
 					if st.ETASeconds > 0 {
 						line += fmt.Sprintf(", ETA %s", (time.Duration(st.ETASeconds * float64(time.Second))).Round(time.Second))
 					}
@@ -152,25 +185,30 @@ func main() {
 	select {
 	case <-srv.Done():
 	case <-ctx.Done():
-		// Interrupted: every acked line is already in the checkpoint;
-		// flush it and leave completion to a -resume restart.
+		// Signalled: drain gracefully. stop() re-arms default signal
+		// handling so a second SIGTERM force-kills a stuck drain.
+		stop()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Drain(drainCtx)
+		cancel()
 		httpSrv.Close()
-		if err := srv.Close(); err != nil {
-			fatal(err)
-		}
 		st := srv.Status()
-		if *checkpoint != "" {
-			logger.Printf("interrupted at %d/%d points; checkpoint flushed to %s (restart with -resume)",
-				st.Done, st.Total, *checkpoint)
-		} else {
-			logger.Printf("interrupted at %d/%d points; no -checkpoint, progress lost", st.Done, st.Total)
+		switch {
+		case err != nil:
+			logger.Printf("drain timed out at %d/%d points (%d leases still out); checkpoints flushed",
+				st.Done, st.Total, st.ActiveLeases)
+		case *checkpointDir != "" || *checkpoint != "":
+			logger.Printf("drained at %d/%d points; checkpoints flushed (restart resumes every sweep)", st.Done, st.Total)
+		default:
+			logger.Printf("drained at %d/%d points; no checkpointing configured, progress lost", st.Done, st.Total)
 		}
-		os.Exit(130)
+		os.Exit(0)
 	}
 
-	// Linger briefly before closing the listener: workers that were
-	// idle-polling (rather than submitting the final batch) learn the
-	// sweep is done from their next /lease instead of a dead socket.
+	// Boot sweep complete. Linger briefly before closing the listener:
+	// workers that were idle-polling (rather than submitting the final
+	// batch) learn the sweep is done from their next /lease instead of
+	// a dead socket.
 	linger := *leaseTimeout / 4
 	if linger > 5*time.Second {
 		linger = 5 * time.Second
@@ -180,14 +218,7 @@ func main() {
 	}
 	time.Sleep(linger)
 	httpSrv.Close()
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	if err := srv.WriteFinal(f); err != nil {
-		fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := dse.AtomicWriteFile(*out, func(w io.Writer) error { return srv.WriteFinal(w) }); err != nil {
 		fatal(err)
 	}
 	if err := srv.Close(); err != nil {

@@ -1,0 +1,262 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpsockit/internal/coord/chaos"
+)
+
+// chaosWorkerCfg builds a fault-injected worker config for the
+// multi-tenant chaos runs.
+func chaosWorkerCfg(urlStr, id, dir string, tr http.RoundTripper) WorkerConfig {
+	return WorkerConfig{
+		URL:           urlStr,
+		ID:            id,
+		FlushPoints:   3,
+		Workers:       1,
+		Client:        &http.Client{Transport: tr},
+		CheckpointDir: dir,
+		MaxAttempts:   5,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    30 * time.Millisecond,
+	}
+}
+
+// TestChaosMultiTenantFaults layers tenant-level faults on the
+// transport chaos: three sweeps share one farm, part of the worker
+// fleet dies mid-lease and never comes back (its leases expire and
+// rebalance to survivors), and one tenant is cancelled mid-run. The
+// surviving tenants must complete byte-identical to their fault-free
+// standalone runs — a cancel or a fleet death in one sweep never
+// poisons another.
+func TestChaosMultiTenantFaults(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{
+		LeaseTimeout:  400 * time.Millisecond,
+		Chunks:        8,
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	h := srv.Handler()
+	_, rrA := registerSweep(t, h, "smoke", 1)
+	_, rrB := registerSweep(t, h, "smoke", 2)
+	_, rrC := registerSweep(t, h, "smoke", 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var transports []*chaos.Transport
+
+	// Two workers are doomed: they die mid-lease (KillSwitch) with no
+	// respawn manager. Their leases expire and rebalance.
+	for i := 0; i < 2; i++ {
+		tr := chaos.NewTransport(chaos.Policy{
+			Seed: 31<<8 | uint64(i), Drop: 0.15, Dup: 0.15,
+			Delay: 0.25, MaxDelay: 2 * time.Millisecond,
+		}, nil)
+		transports = append(transports, tr)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kctx, kill := context.WithCancel(ctx)
+			defer kill()
+			cfg := chaosWorkerCfg(hs.URL, fmt.Sprintf("doomed%d", i), dir, tr)
+			cfg.OnResult = chaos.KillSwitch(4+i, kill)
+			NewWorker(cfg).Run(kctx)
+		}(i)
+	}
+	// Three survivors with respawn managers carry the farm.
+	for i := 0; i < 3; i++ {
+		tr := chaos.NewTransport(chaos.Policy{
+			Seed: 47<<8 | uint64(i), Drop: 0.15, Dup: 0.15,
+			Delay: 0.25, MaxDelay: 2 * time.Millisecond,
+			StallHeartbeats: i%3 == 0,
+		}, nil)
+		transports = append(transports, tr)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", i)
+			for incarnation := 0; ctx.Err() == nil; incarnation++ {
+				if incarnation > 100 {
+					t.Errorf("%s: still respawning after %d incarnations", id, incarnation)
+					return
+				}
+				NewWorker(chaosWorkerCfg(hs.URL, id, dir, tr)).Run(ctx)
+			}
+		}(i)
+	}
+
+	// Cancel tenant C mid-run: wait for it to hold a lease (or finish
+	// under us — cancel is legal either way), then DELETE.
+	idC := rrC.Sweep.ID
+	waitUntil(t, 30*time.Second, func() bool {
+		var row SweepStatus
+		if code, _ := doJSON(t, h, http.MethodGet, "/sweeps/"+idC, nil, &row); code != http.StatusOK {
+			return true // tombstone already expired
+		}
+		return row.ActiveLeases > 0 || row.Done > 0 || row.State == SweepDone
+	})
+	var cRow SweepStatus
+	if code, _ := doJSON(t, h, http.MethodDelete, "/sweeps/"+idC, nil, &cRow); code != http.StatusOK {
+		t.Fatalf("cancel C: HTTP %d", code)
+	}
+	if cRow.State != SweepCancelled || cRow.ActiveLeases != 0 {
+		t.Fatalf("C after cancel: %+v", cRow)
+	}
+
+	// A and B must drain to completion despite the dead fleet, the
+	// cancelled tenant and the transport chaos.
+	waitUntil(t, 60*time.Second, func() bool {
+		for _, id := range []string{rrA.Sweep.ID, rrB.Sweep.ID} {
+			var row SweepStatus
+			doJSON(t, h, http.MethodGet, "/sweeps/"+id, nil, &row)
+			if row.State != SweepDone {
+				return false
+			}
+		}
+		return true
+	})
+	cancel()
+	wg.Wait()
+
+	faults := 0
+	for _, tr := range transports {
+		faults += tr.Faults()
+	}
+	if faults == 0 {
+		t.Fatal("chaos policy injected no faults; the run proved nothing")
+	}
+	t.Logf("multi-tenant chaos: %d faults injected, C cancelled, A and B complete", faults)
+	if !bytes.Equal(fetchResult(t, h, rrA.Sweep.ID), referenceBytes(t, "smoke", 1)) {
+		t.Fatal("surviving sweep A differs from its standalone run")
+	}
+	if !bytes.Equal(fetchResult(t, h, rrB.Sweep.ID), referenceBytes(t, "smoke", 2)) {
+		t.Fatal("surviving sweep B differs from its standalone run")
+	}
+}
+
+// retarget rewrites every request's host to the currently-published
+// coordinator address, so a worker fleet survives the coordinator
+// process being replaced at a new port mid-run.
+type retarget struct {
+	base http.RoundTripper
+	host atomic.Value // string
+}
+
+func (rt *retarget) RoundTrip(req *http.Request) (*http.Response, error) {
+	r2 := req.Clone(req.Context())
+	r2.URL.Host = rt.host.Load().(string)
+	return rt.base.RoundTrip(r2)
+}
+
+// TestChaosCoordinatorKillRestart is whole-farm crash recovery under
+// load: a coordinator with two active sweeps is killed without any
+// graceful shutdown (torn runtime state, only the flushed per-sweep
+// checkpoint logs survive), a fresh coordinator resumes from the same
+// directory, the worker fleet re-targets it, and both sweeps complete
+// byte-identical to fault-free standalone runs.
+func TestChaosCoordinatorKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	workerDir := t.TempDir()
+	newCoord := func() (*Server, *httptest.Server) {
+		srv, err := New(Config{
+			LeaseTimeout:  400 * time.Millisecond,
+			Chunks:        8,
+			CheckpointDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	srv1, hs1 := newCoord()
+	_, rrA := registerSweep(t, srv1.Handler(), "smoke", 1)
+	_, rrB := registerSweep(t, srv1.Handler(), "smoke", 2)
+
+	u, err := url.Parse(hs1.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &retarget{base: http.DefaultTransport}
+	rt.host.Store(u.Host)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", i)
+			for incarnation := 0; ctx.Err() == nil; incarnation++ {
+				if incarnation > 200 {
+					t.Errorf("%s: still respawning after %d incarnations", id, incarnation)
+					return
+				}
+				// The URL's host is rewritten per-request by retarget, so
+				// the same config follows the coordinator across restarts.
+				NewWorker(chaosWorkerCfg(hs1.URL, id, workerDir, rt)).Run(ctx)
+			}
+		}(i)
+	}
+
+	// Let the farm make real progress, then kill the coordinator with
+	// no drain: close its listener and abandon the process state.
+	waitUntil(t, 30*time.Second, func() bool {
+		st := srv1.Status()
+		return st.Done >= 4
+	})
+	killedAt := srv1.Status().Done
+	hs1.CloseClientConnections()
+	hs1.Close()
+
+	// Restart from the same checkpoint directory and re-point the fleet.
+	srv2, hs2 := newCoord()
+	defer hs2.Close()
+	defer srv2.Close()
+	resumed := srv2.Status()
+	if len(resumed.Sweeps) != 2 {
+		t.Fatalf("restart recovered %d sweeps, want 2", len(resumed.Sweeps))
+	}
+	if resumed.Done == 0 {
+		t.Fatalf("restart resumed nothing despite %d points checkpointed", killedAt)
+	}
+	u2, err := url.Parse(hs2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.host.Store(u2.Host)
+
+	h2 := srv2.Handler()
+	waitUntil(t, 60*time.Second, func() bool {
+		for _, row := range listSweeps(t, h2) {
+			if row.State != SweepDone {
+				return false
+			}
+		}
+		return true
+	})
+	cancel()
+	wg.Wait()
+	t.Logf("killed coordinator at %d points, resumed %d, both sweeps completed", killedAt, resumed.Done)
+	if !bytes.Equal(fetchResult(t, h2, rrA.Sweep.ID), referenceBytes(t, "smoke", 1)) {
+		t.Fatal("sweep A differs after coordinator kill+restart")
+	}
+	if !bytes.Equal(fetchResult(t, h2, rrB.Sweep.ID), referenceBytes(t, "smoke", 2)) {
+		t.Fatal("sweep B differs after coordinator kill+restart")
+	}
+}

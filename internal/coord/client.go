@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"mpsockit/internal/dse"
@@ -25,12 +26,17 @@ import (
 // same poison — so the worker stops instead of backing off.
 var ErrConflict = errors.New("coord: coordinator rejected results as conflicting")
 
+// errSweepCancelled marks a lease abandoned because its sweep was
+// cancelled mid-flight; the worker drops the work and asks for the
+// next lease.
+var errSweepCancelled = errors.New("coord: sweep cancelled")
+
 // WorkerConfig parameterizes a sweep worker.
 type WorkerConfig struct {
 	// URL is the coordinator's base URL, e.g. http://host:9090.
 	URL string
 	// ID is the worker's identity; it seeds the backoff jitter and
-	// names the local fallback checkpoint. Defaults to host:pid.
+	// names the local fallback checkpoints. Defaults to host:pid.
 	ID string
 	// FlushPoints is how many completed points accumulate before a
 	// partial submit, bounding work lost to a worker crash. Default 8.
@@ -66,18 +72,27 @@ type WorkerConfig struct {
 	Tracer *obs.Tracer
 }
 
+// workerSweep is the worker's cached, hash-verified expansion of one
+// tenant sweep — the point list it slices leases out of.
+type workerSweep struct {
+	header dse.Header
+	points []dse.Point
+}
+
 // Worker evaluates leased point ranges against a coordinator until
-// the sweep completes, the context is cancelled, or the coordinator
-// stays unreachable past the retry budget.
+// the farm completes (single-shot coordinators only), the context is
+// cancelled, or the coordinator stays unreachable past the retry
+// budget. A multi-tenant worker serves whatever sweeps it is leased
+// work from, verifying and caching each sweep's expansion on first
+// contact.
 type Worker struct {
 	cfg     WorkerConfig
 	client  *http.Client
 	log     *log.Logger
 	backoff *Backoff
-	header  dse.Header
-	points  []dse.Point
+	sweeps  map[string]*workerSweep
 	hbEvery time.Duration
-	// done is set when a result ack reports sweep completion, so the
+	// done is set when a result ack reports farm completion, so the
 	// worker exits without needing one more /lease round trip (the
 	// coordinator may already be shutting down by then).
 	done bool
@@ -118,11 +133,12 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		client:  cfg.Client,
 		log:     cfg.Log,
 		backoff: NewBackoff(cfg.BackoffBase, cfg.BackoffMax, h.Sum64()),
+		sweeps:  make(map[string]*workerSweep),
 	}
 }
 
-// Run joins the coordinator and works leases until the sweep is done.
-// It returns nil on sweep completion, ctx.Err() on cancellation, and
+// Run joins the coordinator and works leases until the farm is done.
+// It returns nil on farm completion, ctx.Err() on cancellation, and
 // an error when the coordinator is unreachable past the retry budget
 // or rejects this worker's results as conflicting.
 func (w *Worker) Run(ctx context.Context) error {
@@ -134,7 +150,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	for {
 		if w.done {
-			w.log.Printf("%s: sweep complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
+			w.log.Printf("%s: farm complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
 			return nil
 		}
 		var lr LeaseResponse
@@ -143,7 +159,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		switch {
 		case lr.Done:
-			w.log.Printf("%s: sweep complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
+			w.log.Printf("%s: farm complete (%d submitted, %d duplicates)", w.cfg.ID, w.Submitted, w.Duplicate)
 			return nil
 		case lr.Lease == nil:
 			delay := time.Duration(lr.RetryMS) * time.Millisecond
@@ -154,52 +170,76 @@ func (w *Worker) Run(ctx context.Context) error {
 				return err
 			}
 		default:
-			if err := w.workLease(ctx, *lr.Lease); err != nil {
+			sw, err := w.resolveSweep(*lr.Lease, lr.Header)
+			if err != nil {
+				return err
+			}
+			if err := w.workLease(ctx, sw, *lr.Lease); err != nil {
+				if errors.Is(err, errSweepCancelled) {
+					continue
+				}
 				return err
 			}
 		}
 	}
 }
 
-// hello verifies the worker and coordinator agree on the sweep. The
-// worker re-expands the spec locally and compares the point-list hash
-// against the coordinator's header: a drifted engine is refused here,
-// before it can submit a single conflicting line.
+// hello announces the worker and picks up the farm's heartbeat cadence.
 func (w *Worker) hello(ctx context.Context) error {
 	var hr HelloResponse
 	if err := w.call(ctx, "/hello", HelloRequest{Worker: w.cfg.ID}, &hr); err != nil {
 		return err
 	}
-	sw, err := dse.ParseSweep(hr.Header.Spec, hr.Header.Seed)
-	if err != nil {
-		return fmt.Errorf("coord: coordinator sweep spec: %w", err)
-	}
-	points, err := sw.Points()
-	if err != nil {
-		return err
-	}
-	local := dse.NewHeader(hr.Header.Spec, hr.Header.Seed, points, nil)
-	if local.SpecHash != hr.Header.SpecHash {
-		return fmt.Errorf("coord: spec hash mismatch (coordinator %s, local %s): engine drift, refusing to join",
-			hr.Header.SpecHash, local.SpecHash)
-	}
-	w.header = hr.Header
-	w.points = points
 	w.hbEvery = time.Duration(hr.HeartbeatMS) * time.Millisecond
 	if w.hbEvery <= 0 {
 		w.hbEvery = time.Second
 	}
-	w.log.Printf("%s: joined sweep %q seed %d (%d points)", w.cfg.ID, w.header.Spec, w.header.Seed, len(points))
+	w.log.Printf("%s: joined farm (%d registered sweep(s))", w.cfg.ID, len(hr.Sweeps))
 	return nil
+}
+
+// resolveSweep returns the worker's verified expansion of the leased
+// sweep, building it on first contact: the spec from the lease header
+// is re-expanded locally and the point-list hash compared against the
+// coordinator's — a drifted engine refuses the sweep here, before it
+// can submit a single conflicting line. The cache makes affinity pay
+// off: repeat leases of the same sweep skip straight to evaluation.
+func (w *Worker) resolveSweep(l Lease, h *dse.Header) (*workerSweep, error) {
+	if sw, ok := w.sweeps[l.Sweep]; ok {
+		return sw, nil
+	}
+	if h == nil {
+		return nil, fmt.Errorf("coord: lease for unknown sweep %s carried no header", l.Sweep)
+	}
+	spec, err := dse.ParseSweep(h.Spec, h.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("coord: sweep %s spec: %w", l.Sweep, err)
+	}
+	points, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	local := dse.NewHeader(h.Spec, h.Seed, points, nil)
+	if local.SpecHash != h.SpecHash {
+		return nil, fmt.Errorf("coord: sweep %s spec hash mismatch (coordinator %s, local %s): engine drift, refusing sweep",
+			l.Sweep, h.SpecHash, local.SpecHash)
+	}
+	sw := &workerSweep{header: *h, points: points}
+	w.sweeps[l.Sweep] = sw
+	w.log.Printf("%s: joined sweep %s: %q seed %d (%d points)", w.cfg.ID, l.Sweep, h.Spec, h.Seed, len(points))
+	return sw, nil
 }
 
 // workLease evaluates the leased range, submitting partial batches
 // every FlushPoints completed points and heartbeating in the
-// background. If the coordinator vanishes mid-lease the worker
-// finishes evaluating, checkpoints the undelivered lines locally, and
-// returns the transport error so the caller can rejoin later.
-func (w *Worker) workLease(ctx context.Context, l Lease) error {
-	w.log.Printf("%s: lease %d [%d,%d)", w.cfg.ID, l.ID, l.Lo, l.Hi)
+// background. A Cancelled ack or heartbeat aborts the evaluation and
+// returns errSweepCancelled — the sweep's tenant withdrew it, so the
+// remaining work is dropped, not delivered. If the coordinator
+// vanishes mid-lease the worker finishes evaluating, checkpoints the
+// undelivered lines locally, and returns the transport error so the
+// caller can rejoin later.
+func (w *Worker) workLease(ctx context.Context, sw *workerSweep, l Lease) error {
+	w.log.Printf("%s: lease %s/%d [%d,%d)", w.cfg.ID, l.Sweep, l.ID, l.Lo, l.Hi)
 	// The lease span sits on the coordination row (tid -1), above the
 	// per-worker eval rows the engine emits.
 	if w.cfg.Tracer != nil {
@@ -211,9 +251,16 @@ func (w *Worker) workLease(ctx context.Context, l Lease) error {
 				obs.Arg{Key: "hi", Val: int64(l.Hi)})
 		}()
 	}
-	hbCtx, stopHB := context.WithCancel(ctx)
-	defer stopHB()
-	go w.heartbeatLoop(hbCtx, l.ID)
+	// leaseCtx aborts the evaluation early on cancellation; cancelled
+	// distinguishes that from the caller's ctx ending.
+	leaseCtx, stopLease := context.WithCancel(ctx)
+	defer stopLease()
+	var cancelled atomic.Bool
+	abandon := func() {
+		cancelled.Store(true)
+		stopLease()
+	}
+	go w.heartbeatLoop(leaseCtx, l, abandon)
 
 	var pending bytes.Buffer
 	pendingPoints := 0
@@ -221,8 +268,13 @@ func (w *Worker) workLease(ctx context.Context, l Lease) error {
 		if pendingPoints == 0 {
 			return nil
 		}
-		if err := w.submit(ctx, l.ID, pending.Bytes()); err != nil {
+		ack, err := w.submit(ctx, l.Sweep, l.ID, pending.Bytes())
+		if err != nil {
 			return err
+		}
+		if ack.Cancelled {
+			abandon()
+			return errSweepCancelled
 		}
 		pending.Reset()
 		pendingPoints = 0
@@ -256,17 +308,21 @@ func (w *Worker) workLease(ctx context.Context, l Lease) error {
 			}
 		},
 	}
-	eng.RunContext(ctx, w.points[l.Lo:l.Hi])
+	eng.RunContext(leaseCtx, sw.points[l.Lo:l.Hi])
+	if cancelled.Load() || errors.Is(evalErr, errSweepCancelled) {
+		w.log.Printf("%s: lease %s/%d abandoned: sweep cancelled", w.cfg.ID, l.Sweep, l.ID)
+		return errSweepCancelled
+	}
 	if evalErr == nil {
 		evalErr = flush()
 	}
 	if evalErr != nil {
-		if errors.Is(evalErr, ErrConflict) || ctx.Err() != nil {
+		if errors.Is(evalErr, ErrConflict) || errors.Is(evalErr, errSweepCancelled) || ctx.Err() != nil {
 			return evalErr
 		}
 		// Coordinator vanished: save what we could not deliver in
 		// shard-file form and surface the error.
-		if err := w.checkpointLocal(l, pending.Bytes()); err != nil {
+		if err := w.checkpointLocal(sw, l, pending.Bytes()); err != nil {
 			w.log.Printf("%s: local checkpoint failed: %v", w.cfg.ID, err)
 		}
 		return evalErr
@@ -274,10 +330,11 @@ func (w *Worker) workLease(ctx context.Context, l Lease) error {
 	return nil
 }
 
-// heartbeatLoop keeps the lease alive while evaluation runs. Failures
-// are ignored: a missed heartbeat at worst gets the range reissued,
-// and duplicated evaluation is harmless by construction.
-func (w *Worker) heartbeatLoop(ctx context.Context, leaseID int64) {
+// heartbeatLoop keeps the lease alive while evaluation runs. Transport
+// failures are ignored — a missed heartbeat at worst gets the range
+// reissued, and duplicated evaluation is harmless by construction —
+// but a Cancelled verdict aborts the lease via abandon.
+func (w *Worker) heartbeatLoop(ctx context.Context, l Lease, abandon func()) {
 	t := time.NewTicker(w.hbEvery)
 	defer t.Stop()
 	for {
@@ -286,15 +343,19 @@ func (w *Worker) heartbeatLoop(ctx context.Context, leaseID int64) {
 			return
 		case <-t.C:
 			var hr HeartbeatResponse
-			_ = w.callOnce(ctx, "/heartbeat", HeartbeatRequest{Worker: w.cfg.ID, Lease: leaseID}, &hr)
+			if err := w.callOnce(ctx, "/heartbeat", HeartbeatRequest{Worker: w.cfg.ID, Sweep: l.Sweep, Lease: l.ID}, &hr); err == nil && hr.Cancelled {
+				abandon()
+				return
+			}
 		}
 	}
 }
 
-// submit posts a JSONL batch, retrying transient failures with
-// backoff. A 409 (conflict) maps to ErrConflict and is not retried.
-func (w *Worker) submit(ctx context.Context, leaseID int64, lines []byte) error {
-	url := fmt.Sprintf("%s/results?worker=%s&lease=%d", w.cfg.URL, w.cfg.ID, leaseID)
+// submit posts a JSONL batch for one sweep, retrying transient
+// failures with backoff. A 409 (conflict) maps to ErrConflict and is
+// not retried; a Cancelled ack is returned for the caller to act on.
+func (w *Worker) submit(ctx context.Context, sweepID string, leaseID int64, lines []byte) (ResultAck, error) {
+	url := fmt.Sprintf("%s/results?worker=%s&sweep=%s&lease=%d", w.cfg.URL, w.cfg.ID, sweepID, leaseID)
 	if w.cfg.Tracer != nil {
 		flushStart := time.Now()
 		defer func() {
@@ -307,11 +368,11 @@ func (w *Worker) submit(ctx context.Context, leaseID int64, lines []byte) error 
 	w.backoff.Reset()
 	for attempt := 0; attempt < w.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return err
+			return ResultAck{}, err
 		}
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(lines))
 		if err != nil {
-			return err
+			return ResultAck{}, err
 		}
 		req.Header.Set("Content-Type", "application/jsonl")
 		resp, err := w.client.Do(req)
@@ -323,19 +384,19 @@ func (w *Worker) submit(ctx context.Context, leaseID int64, lines []byte) error 
 				if ack.Done {
 					w.done = true
 				}
-				return nil
+				return ack, nil
 			}
 			if errors.Is(aerr, ErrConflict) {
-				return aerr
+				return ResultAck{}, aerr
 			}
 			err = aerr
 		}
 		lastErr = err
 		if serr := sleepCtx(ctx, w.backoff.Next()); serr != nil {
-			return serr
+			return ResultAck{}, serr
 		}
 	}
-	return fmt.Errorf("coord: submitting results after %d attempts: %w", w.cfg.MaxAttempts, lastErr)
+	return ResultAck{}, fmt.Errorf("coord: submitting results after %d attempts: %w", w.cfg.MaxAttempts, lastErr)
 }
 
 // decodeAck reads a /results response, mapping HTTP status to error
@@ -407,20 +468,22 @@ func (w *Worker) callOnce(ctx context.Context, path string, in, out any) error {
 
 // checkpointLocal saves undelivered result lines as a shard file so a
 // later rejoin (this process or a fresh one pointed at the same
-// directory) can resubmit them without re-evaluating.
-func (w *Worker) checkpointLocal(l Lease, lines []byte) error {
+// directory) can resubmit them without re-evaluating. The file name
+// carries the sweep ID so resubmission can route the lines to the
+// right tenant.
+func (w *Worker) checkpointLocal(sw *workerSweep, l Lease, lines []byte) error {
 	if w.cfg.CheckpointDir == "" || len(lines) == 0 {
 		return nil
 	}
 	if err := os.MkdirAll(w.cfg.CheckpointDir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(w.cfg.CheckpointDir, fmt.Sprintf("%s-lease%d.jsonl", w.cfg.ID, l.ID))
+	path := filepath.Join(w.cfg.CheckpointDir, fmt.Sprintf("%s-%s-lease%d.jsonl", w.cfg.ID, l.Sweep, l.ID))
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	h := w.header
+	h := sw.header
 	h.Shard = &dse.Shard{Index: 0, Count: 1, Lo: l.Lo, Hi: l.Hi}
 	if err := dse.WriteHeader(f, h); err != nil {
 		f.Close()
@@ -433,18 +496,19 @@ func (w *Worker) checkpointLocal(l Lease, lines []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	w.log.Printf("%s: checkpointed undelivered lease %d to %s", w.cfg.ID, l.ID, path)
+	w.log.Printf("%s: checkpointed undelivered lease %s/%d to %s", w.cfg.ID, l.Sweep, l.ID, path)
 	return nil
 }
 
 // resubmitCheckpoints replays any locally checkpointed lease files
 // from an earlier run whose delivery failed, deleting each once the
-// coordinator acks it.
+// coordinator acks it — including a Cancelled ack, which means nobody
+// wants the lines any more.
 func (w *Worker) resubmitCheckpoints(ctx context.Context) error {
 	if w.cfg.CheckpointDir == "" {
 		return nil
 	}
-	paths, err := filepath.Glob(filepath.Join(w.cfg.CheckpointDir, w.cfg.ID+"-lease*.jsonl"))
+	paths, err := filepath.Glob(filepath.Join(w.cfg.CheckpointDir, w.cfg.ID+"-sw-*-lease*.jsonl"))
 	if err != nil {
 		return err
 	}
@@ -454,21 +518,23 @@ func (w *Worker) resubmitCheckpoints(ctx context.Context) error {
 			w.log.Printf("%s: skipping bad checkpoint %s: %v", w.cfg.ID, path, err)
 			continue
 		}
-		if sf.Header.SpecHash != w.header.SpecHash {
-			w.log.Printf("%s: skipping checkpoint %s from a different sweep (spec hash %s)", w.cfg.ID, path, sf.Header.SpecHash)
-			continue
-		}
+		sweepID := SweepID(sf.Header)
 		var lines bytes.Buffer
 		for _, r := range sf.Results {
 			if err := dse.WriteResult(&lines, r); err != nil {
 				return err
 			}
 		}
-		if err := w.submit(ctx, 0, lines.Bytes()); err != nil {
+		ack, err := w.submit(ctx, sweepID, 0, lines.Bytes())
+		if err != nil {
 			return err
 		}
 		if err := os.Remove(path); err != nil {
 			return err
+		}
+		if ack.Cancelled {
+			w.log.Printf("%s: dropped checkpoint %s: sweep %s cancelled", w.cfg.ID, path, sweepID)
+			continue
 		}
 		w.log.Printf("%s: resubmitted %d checkpointed result(s) from %s", w.cfg.ID, len(sf.Results), path)
 	}

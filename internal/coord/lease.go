@@ -161,12 +161,10 @@ func (t *leaseTable) grant(worker string, now time.Time) *lease {
 	return t.steal(worker, now)
 }
 
-// steal duplicates the tail half of the unfinished points of the
-// best victim: an active lease older than half its timeout, not
-// already robbed, with at least two points missing. The victim keeps
-// its lease — whoever finishes first wins, the loser's lines land as
-// duplicates.
-func (t *leaseTable) steal(worker string, now time.Time) *lease {
+// findVictim picks the steal target: an active lease older than half
+// its timeout, not already robbed, with at least two points missing —
+// the one with the most unfinished cost. Nil when no lease qualifies.
+func (t *leaseTable) findVictim(now time.Time) *lease {
 	var victim *lease
 	victimCost := 0.0
 	for _, l := range t.active {
@@ -187,6 +185,14 @@ func (t *leaseTable) steal(worker string, now time.Time) *lease {
 			victim, victimCost = l, cost
 		}
 	}
+	return victim
+}
+
+// steal duplicates the tail half of the unfinished points of the
+// best victim (see findVictim). The victim keeps its lease — whoever
+// finishes first wins, the loser's lines land as duplicates.
+func (t *leaseTable) steal(worker string, now time.Time) *lease {
+	victim := t.findVictim(now)
 	if victim == nil {
 		return nil
 	}
@@ -220,6 +226,31 @@ func (t *leaseTable) issue(worker string, lo, hi, issues int, now time.Time) *le
 	}
 	t.active[l.id] = l
 	return l
+}
+
+// hasWork reports whether grant would hand out a lease right now:
+// an uncovered pending point exists, or a straggler is eligible for
+// stealing. The fair scheduler uses it to decide which sweeps are
+// runnable before charging anyone's debt.
+func (t *leaseTable) hasWork(now time.Time) bool {
+	if t.pendingPoints() > 0 {
+		return true
+	}
+	return t.findVictim(now) != nil
+}
+
+// clear drops every pending span and active lease — the sweep was
+// cancelled, so nothing will be granted or accepted again. It reports
+// how many active leases were reclaimed; their workers learn via a
+// Cancelled heartbeat or result ack.
+func (t *leaseTable) clear() int {
+	n := len(t.active)
+	t.pending = nil
+	t.active = make(map[int64]*lease)
+	for i := 0; i < n; i++ {
+		t.obs.reclaims.Inc()
+	}
+	return n
 }
 
 // pendingPoints counts points queued for assignment (not done, not

@@ -111,7 +111,7 @@ func TestWorkerVanishCheckpointAndRejoin(t *testing.T) {
 	if err := w.Run(context.Background()); err == nil {
 		t.Fatal("worker reported success with an unreachable coordinator")
 	}
-	ckpts, err := filepath.Glob(filepath.Join(dir, "w0-lease*.jsonl"))
+	ckpts, err := filepath.Glob(filepath.Join(dir, "w0-sw-*-lease*.jsonl"))
 	if err != nil || len(ckpts) == 0 {
 		t.Fatalf("no local checkpoint written (%v, %v)", ckpts, err)
 	}
@@ -129,7 +129,7 @@ func TestWorkerVanishCheckpointAndRejoin(t *testing.T) {
 	if err := w2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if left, _ := filepath.Glob(filepath.Join(dir, "w0-lease*.jsonl")); len(left) != 0 {
+	if left, _ := filepath.Glob(filepath.Join(dir, "w0-sw-*-lease*.jsonl")); len(left) != 0 {
 		t.Fatalf("resubmitted checkpoints not removed: %v", left)
 	}
 	st := srv.Status()
@@ -148,9 +148,9 @@ func TestWorkerVanishCheckpointAndRejoin(t *testing.T) {
 	}
 }
 
-// TestWorkerRefusesSpecHashMismatch checks the join-time drift guard:
-// a worker whose local expansion hashes differently refuses to
-// participate instead of submitting conflicting bytes later.
+// TestWorkerRefusesSpecHashMismatch checks the first-lease drift
+// guard: a worker whose local expansion hashes differently refuses the
+// sweep instead of submitting conflicting bytes later.
 func TestWorkerRefusesSpecHashMismatch(t *testing.T) {
 	srv, err := New(Config{Spec: "smoke", Seed: 1})
 	if err != nil {
@@ -158,9 +158,15 @@ func TestWorkerRefusesSpecHashMismatch(t *testing.T) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /hello", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(HelloResponse{HeartbeatMS: 1000})
+	})
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
 		h := srv.Header()
 		h.SpecHash = "0000000000000000"
-		json.NewEncoder(w).Encode(HelloResponse{Header: h, HeartbeatMS: 1000})
+		json.NewEncoder(w).Encode(LeaseResponse{
+			Lease:  &Lease{Sweep: SweepID(h), ID: 1, Lo: 0, Hi: 4, DeadlineMS: 30000},
+			Header: &h,
+		})
 	})
 	hs := httptest.NewServer(mux)
 	defer hs.Close()
@@ -184,10 +190,14 @@ func TestWorkerConflictNotRetried(t *testing.T) {
 	var mu sync.Mutex
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /hello", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(HelloResponse{Header: srv.Header(), HeartbeatMS: 1000})
+		json.NewEncoder(w).Encode(HelloResponse{HeartbeatMS: 1000})
 	})
 	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
-		json.NewEncoder(w).Encode(LeaseResponse{Lease: &Lease{ID: 1, Lo: 0, Hi: 4, DeadlineMS: 30000}})
+		h := srv.Header()
+		json.NewEncoder(w).Encode(LeaseResponse{
+			Lease:  &Lease{Sweep: SweepID(h), ID: 1, Lo: 0, Hi: 4, DeadlineMS: 30000},
+			Header: &h,
+		})
 	})
 	mux.HandleFunc("POST /results", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()

@@ -152,6 +152,30 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...s
 	r.register(name, help, kindCounterFunc, labels).fn = fn
 }
 
+// Unregister removes the series with the given name and label pairs
+// from the registry, reporting whether it existed. Long-lived services
+// use it to drop per-entity series (a departed worker, a cancelled
+// sweep) so label sets do not grow without bound. Handles to the
+// removed instrument keep working — they just stop being exported —
+// so racing updaters need no coordination with the removal.
+func (r *Registry) Unregister(name string, labels ...string) bool {
+	key := name + "{" + renderLabels(labels) + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byKey[key]
+	if !ok {
+		return false
+	}
+	delete(r.byKey, key)
+	for i, cur := range r.series {
+		if cur == s {
+			r.series = append(r.series[:i], r.series[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // snapshotSeries returns a stable-ordered copy of the series list:
 // families sorted by name, series within a family by label string,
 // ties by registration order (registration order is preserved for
