@@ -29,6 +29,15 @@
 //
 //	dse -sweep 'plat=homog8;wl=jpeg,synth16;heur=list,anneal;fid=cal:1'
 //
+// The mem dimension sweeps memory-subsystem contention models:
+// mem=ideal (the default, infinite-bandwidth memory), mem=bank:BxC
+// (B banks behind C DMA channels with deterministic queueing) and
+// mem=bw:G (a single bandwidth-shared DMA engine). Contended points
+// report mem_transfers/mem_wait_ps; mem=ideal points are
+// byte-identical to points with no mem= dimension at all:
+//
+//	dse -sweep 'plat=homog4,wireless;wl=jpeg;heur=list;mem=ideal,bank:4x2,bw:8'
+//
 // Results stream to -out as JSONL — a provenance header line followed
 // by one result per line, in point order — so a sweep is
 // byte-reproducible for a given -seed and can resume from a partial

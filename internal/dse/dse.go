@@ -51,7 +51,8 @@
 //	preset   = "smoke" | "default" ;
 //	dims     = dim , { ";" , dim } ;
 //	dim      = key , "=" , value , { "," , value } ;
-//	key      = "plat" | "fab" | "dvfs" | "wl" | "heur" | "fid" ;
+//	key      = "plat" | "fab" | "dvfs" | "wl" | "heur" | "fid"
+//	         | "mem" ;
 //
 //	plat     = "homog" int | "mpcore" int | "celllike" int
 //	         | "wireless" | mix ;
@@ -67,6 +68,7 @@
 //
 //	heur     = "list" | "anneal" | "exhaustive" ;
 //	fid      = "mvp" | "pipe" int | "vp" int | "cal" ":" int ;
+//	mem      = "ideal" | "bank" ":" int "x" int | "bw" ":" int ;
 //
 // A mix platform token ("2xrisc+4xdsp@3200") builds the listed core
 // groups in order at class-default clocks and memories unless "@MHz"
@@ -83,6 +85,14 @@
 // every point's bottleneck compute is rescaled by its class's factor
 // (probe points reuse their vp measurement verbatim, so K covering
 // the whole group degenerates to vp-identical ranking).
+// A "mem=" dimension crosses memory-subsystem contention models into
+// the sweep: "ideal" is the uncontended default (byte-identical to
+// omitting the dimension), "bank:BxC" queues cross-PE payloads on B
+// destination-hashed bank reservations behind C shared DMA channels,
+// and "bw:G" serializes them through one DMA engine budgeted at G
+// bytes/ns. The model charges its service time on both the mapping
+// estimator and the simulated execute path; jobs workloads carry the
+// token but are unaffected (the RTOS does no task transfers).
 // Sweep.Spec renders any sweep back to this grammar canonically;
 // parse→render→parse is the identity on expanded points.
 package dse
@@ -115,6 +125,11 @@ type PlatSpec struct {
 	// DVFS is the frequency level index applied to every core before
 	// mapping (0 = lowest). Levels are clamped per core.
 	DVFS int `json:"dvfs"`
+	// Mem is the memory-subsystem contention token ("bank:4x2",
+	// "bw:8"). Empty is the ideal memory — mem=ideal canonicalizes to
+	// empty at expansion, so points without a mem= dimension keep
+	// their exact pre-axis JSON encoding (and spec hash).
+	Mem string `json:"mem,omitempty"`
 }
 
 // CoreCount returns the number of PEs the spec builds.
@@ -146,9 +161,15 @@ func (s PlatSpec) Token() string {
 }
 
 // String renders the spec as the compact "kind/fabric/dN" token used
-// in tables and logs.
+// in tables and logs, with "/mem" appended when a memory model is
+// attached. Calibration caches key on this string, so cal groups
+// never mix measurements across memory models.
 func (s PlatSpec) String() string {
-	return s.Token() + "/" + s.Fabric + "/d" + strconv.Itoa(s.DVFS)
+	str := s.Token() + "/" + s.Fabric + "/d" + strconv.Itoa(s.DVFS)
+	if s.Mem != "" {
+		str += "/" + s.Mem
+	}
+	return str
 }
 
 // AppRef names one application of a multi-app design point: the
@@ -235,7 +256,12 @@ type Metrics struct {
 	Area         float64 `json:"area"`
 	NoCTransfers uint64  `json:"noc_transfers"`
 	NoCWaitPS    int64   `json:"noc_wait_ps"`
-	FreqSwitches uint64  `json:"freq_switches,omitempty"`
+	// MemTransfers and MemWaitPS are the memory-subsystem service
+	// count and queue wait of the run (mem= points only; zero — and
+	// omitted from JSON — when the point has no memory model).
+	MemTransfers uint64 `json:"mem_transfers,omitempty"`
+	MemWaitPS    int64  `json:"mem_wait_ps,omitempty"`
+	FreqSwitches uint64 `json:"freq_switches,omitempty"`
 	// SimEvents counts kernel events dispatched evaluating the point
 	// (the abstraction-level cost measure of experiment E13).
 	SimEvents uint64 `json:"sim_events"`

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mpsockit/internal/mapping"
+	"mpsockit/internal/mem"
 	"mpsockit/internal/noc"
 	"mpsockit/internal/platform"
 	"mpsockit/internal/rtos"
@@ -23,6 +24,19 @@ var classArea = map[platform.PEClass]float64{
 	platform.VLIW: 2.2,
 	platform.ACC:  0.7,
 	platform.CTRL: 1.8,
+}
+
+// peArea returns one core's area-proxy contribution: its class weight
+// plus local memory. A class missing from classArea is a loud
+// evaluation error — silently scoring an unknown class as zero would
+// deflate the area objective and let nonexistent silicon dominate
+// Pareto fronts.
+func peArea(c *platform.Core) (float64, error) {
+	w, ok := classArea[c.Class]
+	if !ok {
+		return 0, fmt.Errorf("dse: no area weight for PE class %v (core %d)", c.Class, c.ID)
+	}
+	return w + 0.2*float64(c.L1Bytes+c.L2Bytes)/float64(256<<10), nil
 }
 
 // Evaluate scores one design point on a private kernel. It never
@@ -229,7 +243,19 @@ func buildPlatform(k *sim.Kernel, spec PlatSpec) (*platform.Platform, float64, e
 		}
 		c.SetNominal()
 		c.FreqSwitches = 0
-		area += classArea[c.Class] + 0.2*float64(c.L1Bytes+c.L2Bytes)/float64(256<<10)
+		a, err := peArea(c)
+		if err != nil {
+			return nil, 0, err
+		}
+		area += a
+	}
+	if spec.Mem != "" {
+		ms, err := mem.ParseSpec(spec.Mem)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dse: platform %v: %w", spec, err)
+		}
+		access, bpns := plat.MemTiming()
+		plat.Mem = ms.Build(access, bpns)
 	}
 	return plat, area, nil
 }
@@ -260,6 +286,8 @@ func metricsFrom(plat *platform.Platform, stats mapping.ExecStats, area float64,
 		Area:         area,
 		NoCTransfers: stats.Fabric.Transfers,
 		NoCWaitPS:    int64(stats.Fabric.Wait),
+		MemTransfers: stats.Mem.Transfers,
+		MemWaitPS:    int64(stats.Mem.Wait),
 	}
 	if stats.Makespan > 0 {
 		m.ThroughputHz = float64(units) / stats.Makespan.Seconds()

@@ -3,6 +3,8 @@ package dse
 import (
 	"reflect"
 	"testing"
+
+	"mpsockit/internal/mem"
 )
 
 // Fuzz targets for the sweep-spec grammars. Two invariants: no input
@@ -25,6 +27,7 @@ func expansionBound(s *Sweep) int {
 	dims := [...]int{
 		len(s.Platforms), max1(len(s.Fabrics)), max1(len(s.DVFS)),
 		len(s.Workloads), max1(len(s.Heuristics)), max1(len(s.Fidelities)),
+		max1(len(s.Mems)),
 	}
 	bound := 1
 	for _, d := range dims {
@@ -60,6 +63,9 @@ func FuzzParseSweep(f *testing.F) {
 		"plat=03xrisc@01000;wl=synth02",
 		"plat=homog4;wl=jpeg,synth8;heur=list,anneal;fid=mvp,cal:2",
 		"fid=cal:32,cal:1,vp64;wl=multi:jpeg+synth4;plat=2xrisc+1xdsp",
+		"plat=homog4;wl=jpeg;mem=ideal,bank:4x2,bw:8",
+		"mem=bank:64x8,bw:1024,bank:1x1;plat=wireless;wl=synth8;fid=mvp,vp64",
+		"plat=homog2;wl=jpeg;mem=bank:0x2,bank:4,bw:0,dram",
 	} {
 		f.Add(seed)
 	}
@@ -150,6 +156,44 @@ func FuzzFidelityToken(f *testing.F) {
 		}
 		if !reflect.DeepEqual(fs, fs2) {
 			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, fs, fs2)
+		}
+	})
+}
+
+// FuzzMemToken holds the mem-dimension token round trip: no token
+// panics the parser, accepted tokens carry bounded parameters (a
+// hostile shard header cannot demand an unbounded bank array), and
+// parse → canonical render → parse is the identity.
+func FuzzMemToken(f *testing.F) {
+	for _, seed := range []string{
+		"ideal", "bank:4x2", "bank:1x1", "bank:64x8", "bw:8", "bw:1024",
+		"bank:0x2", "bank:65x1", "bank:4x9", "bank:4", "bank:x", "bank:2x",
+		"bw:0", "bw:1025", "bw:-1", "bw:", "bw", "bank:04x02", "dram",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tok string) {
+		ms, err := mem.ParseSpec(tok)
+		if err != nil {
+			return
+		}
+		switch ms.Kind {
+		case "ideal", "bank", "bw":
+		default:
+			t.Fatalf("token %q parsed to unknown kind %q", tok, ms.Kind)
+		}
+		if ms.Kind == "bank" && (ms.Banks < 1 || ms.Banks > mem.MaxBanks || ms.Channels < 1 || ms.Channels > mem.MaxChannels) {
+			t.Fatalf("token %q parsed to unbounded geometry %dx%d", tok, ms.Banks, ms.Channels)
+		}
+		if ms.Kind == "bw" && (ms.GBps < 1 || ms.GBps > mem.MaxGBps) {
+			t.Fatalf("token %q parsed to unbounded bandwidth %d", tok, ms.GBps)
+		}
+		ms2, err := mem.ParseSpec(ms.String())
+		if err != nil {
+			t.Fatalf("canonical token %q (of %q) does not re-parse: %v", ms.String(), tok, err)
+		}
+		if !reflect.DeepEqual(ms, ms2) {
+			t.Fatalf("token %q does not round-trip: %+v vs %+v", tok, ms, ms2)
 		}
 	})
 }

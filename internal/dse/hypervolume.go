@@ -9,16 +9,23 @@ import (
 // RefPoint returns the hypervolume reference point for a result set:
 // the componentwise worst (maximum) latency, energy and area over all
 // evaluable results, inflated by 1% so boundary points still enclose
-// positive volume. It is a pure function of the results, so sweeps
-// that evaluate the same points — whatever the worker or shard count
-// — report identical hypervolumes. Failed points are skipped; a set
-// with no evaluable points returns the zero reference.
+// positive volume. An axis whose worst value is exactly 0 (every
+// result free on that objective) gets a unit reference instead:
+// 0×1.01 would put the reference on the points themselves, zeroing
+// the hypervolume — and the ideal-to-reference box — for fronts that
+// are degenerate on one axis but perfectly meaningful on the others.
+// It is a pure function of the results, so sweeps that evaluate the
+// same points — whatever the worker or shard count — report identical
+// hypervolumes. Failed points are skipped; a set with no evaluable
+// points returns the zero reference.
 func RefPoint(results []Result) [3]float64 {
 	var ref [3]float64
+	evaluable := false
 	for _, r := range results {
 		if r.Err != "" {
 			continue
 		}
+		evaluable = true
 		lat, energy, area := Objectives(r)
 		obj := [3]float64{lat, energy, area}
 		for d := 0; d < 3; d++ {
@@ -27,8 +34,15 @@ func RefPoint(results []Result) [3]float64 {
 			}
 		}
 	}
+	if !evaluable {
+		return ref
+	}
 	for d := 0; d < 3; d++ {
-		ref[d] *= 1.01
+		if ref[d] == 0 {
+			ref[d] = 1
+		} else {
+			ref[d] *= 1.01
+		}
 	}
 	return ref
 }

@@ -3,6 +3,7 @@ package dse
 import (
 	"math"
 	"testing"
+	"testing/quick"
 
 	"mpsockit/internal/sim"
 )
@@ -93,6 +94,80 @@ func TestRefPointAndSinglePointFront(t *testing.T) {
 	hvs = Hypervolumes([]Result{r, failed})
 	if hvs[0].Points != 1 || hvs[0].Front != 1 {
 		t.Fatalf("failed result leaked into front record %+v", hvs[0])
+	}
+}
+
+// TestRefPointZeroExtentAxis is the regression for the degenerate
+// reference point: when every result of a group scores exactly 0 on
+// one objective, worst×1.01 used to put the reference on the points
+// themselves — the front enclosed zero volume and Norm divided 0 by
+// 0. The zero-extent axis must get a unit reference instead, so the
+// other two objectives still measure.
+func TestRefPointZeroExtentAxis(t *testing.T) {
+	results := []Result{
+		mkResult(0, "jpeg", 1, 0, 1), // energy identically 0 across the group
+		mkResult(1, "jpeg", 2, 0, 2),
+	}
+	ref := RefPoint(results)
+	if ref[1] != 1 {
+		t.Fatalf("zero-extent energy axis ref = %g, want 1", ref[1])
+	}
+	hvs := Hypervolumes(results)
+	if len(hvs) != 1 {
+		t.Fatalf("got %d fronts, want 1", len(hvs))
+	}
+	h := hvs[0]
+	if h.Volume <= 0 {
+		t.Fatalf("zero-extent axis collapsed the hypervolume: %+v", h)
+	}
+	if math.IsNaN(h.Norm) || h.Norm <= 0 || h.Norm > 1 {
+		t.Fatalf("Norm = %g, want in (0, 1]", h.Norm)
+	}
+	// All-zero objectives: the fully degenerate group still scores a
+	// defined, maximal front.
+	zero := []Result{mkResult(0, "jpeg", 0, 0, 0)}
+	h = Hypervolumes(zero)[0]
+	if math.IsNaN(h.Norm) || h.Volume != 1 || h.Norm != 1 {
+		t.Fatalf("all-zero group scored %+v, want volume 1 norm 1", h)
+	}
+}
+
+// TestHypervolumeNormProperty holds the indicator's contract over
+// random result sets, zero-valued objectives included: Norm is always
+// in [0, 1] and never NaN, and Volume is non-negative and finite.
+func TestHypervolumeNormProperty(t *testing.T) {
+	prop := func(objs [][3]uint8, errMask uint8) bool {
+		if len(objs) > 24 {
+			objs = objs[:24]
+		}
+		var results []Result
+		for i, o := range objs {
+			// Small integer grid: collisions, exact zeros and
+			// zero-extent axes all occur with high probability.
+			r := mkResult(i, "synth8", float64(o[0]%4), float64(o[1]%4), float64(o[2]%4))
+			if errMask&(1<<(i%8)) != 0 && i%3 == 0 {
+				r.Err = "boom"
+			}
+			results = append(results, r)
+		}
+		for _, h := range Hypervolumes(results) {
+			if math.IsNaN(h.Norm) || h.Norm < 0 || h.Norm > 1+1e-12 {
+				t.Logf("norm out of range: %+v", h)
+				return false
+			}
+			if math.IsNaN(h.Volume) || math.IsInf(h.Volume, 0) || h.Volume < 0 {
+				t.Logf("bad volume: %+v", h)
+				return false
+			}
+			if h.Front > 0 && h.Volume == 0 {
+				t.Logf("non-empty front dominated nothing: %+v", h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -81,6 +81,12 @@ func EstCost(p Point) float64 {
 	if len(p.Apps) > 1 {
 		c *= float64(len(p.Apps))
 	}
+	// A memory contention model adds a service event per cross-PE
+	// payload on the execute path and an extra term per estimator
+	// charge — a small constant factor, not a new simulation level.
+	if p.Plat.Mem != "" {
+		c *= 1.15
+	}
 	return c
 }
 

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mpsockit/internal/mem"
 	"mpsockit/internal/platform"
 	"mpsockit/internal/xrand"
 )
@@ -69,6 +70,10 @@ type Sweep struct {
 	Workloads  []WorkloadSpec
 	Heuristics []string
 	Fidelities []FidelitySpec
+	// Mems is the memory-subsystem contention axis (mem= tokens).
+	// Empty means ideal memory only — identical to a mem=ideal axis,
+	// because the ideal spec canonicalizes to an absent Point field.
+	Mems []mem.Spec
 }
 
 // seedFor derives the deterministic per-point (or per-workload) seed
@@ -107,75 +112,82 @@ func (s *Sweep) Points() ([]Point, error) {
 	if len(fidelities) == 0 {
 		fidelities = []FidelitySpec{{Kind: "mvp"}}
 	}
+	mems := s.Mems
+	if len(mems) == 0 {
+		mems = []mem.Spec{{Kind: "ideal"}}
+	}
 	var points []Point
 	for _, plat := range s.Platforms {
 		for _, fab := range fabrics {
 			for _, d := range dvfs {
-				for _, wl := range s.Workloads {
-					heurs, fids := heuristics, fidelities
-					if wl.Kind == "jobs" {
-						heurs = []string{"-"}
-						fids = []FidelitySpec{{Kind: "rtos"}}
-					}
-					for hi, h := range heurs {
-						for _, f := range fids {
-							ps := plat
-							ps.Fabric = fab
-							ps.DVFS = d
-							id := len(points)
-							p := Point{
-								ID:           id,
-								Seed:         seedFor(s.Seed, "point", id),
-								Plat:         ps,
-								Workload:     wl.Kind,
-								N:            wl.N,
-								WorkloadSeed: seedFor(s.Seed, "wl/"+wl.Kind, wl.N),
-								Heuristic:    h,
-								Fidelity:     f.Kind,
-								Iterations:   f.Iterations,
-								Quantum:      f.Quantum,
+				for _, mm := range mems {
+					for _, wl := range s.Workloads {
+						heurs, fids := heuristics, fidelities
+						if wl.Kind == "jobs" {
+							heurs = []string{"-"}
+							fids = []FidelitySpec{{Kind: "rtos"}}
+						}
+						for hi, h := range heurs {
+							for _, f := range fids {
+								ps := plat
+								ps.Fabric = fab
+								ps.DVFS = d
+								ps.Mem = mm.Token()
+								id := len(points)
+								p := Point{
+									ID:           id,
+									Seed:         seedFor(s.Seed, "point", id),
+									Plat:         ps,
+									Workload:     wl.Kind,
+									N:            wl.N,
+									WorkloadSeed: seedFor(s.Seed, "wl/"+wl.Kind, wl.N),
+									Heuristic:    h,
+									Fidelity:     f.Kind,
+									Iterations:   f.Iterations,
+									Quantum:      f.Quantum,
+								}
+								if f.Kind == "cal" {
+									if p.Quantum < 1 {
+										p.Quantum = calProbeQuantum
+									}
+									// The group's probes are its first K sibling
+									// mappings (same plat/fab/dvfs/wl, the other
+									// heuristics of this fidelity). Sibling IDs
+									// differ by the fidelity stride, so each
+									// probe's mapping seed is recomputable here
+									// and identical for every group member.
+									k := f.Probes
+									if k > len(heurs) {
+										k = len(heurs)
+									}
+									for m := 0; m < k; m++ {
+										pid := id - (hi-m)*len(fids)
+										p.CalProbes = append(p.CalProbes, CalProbe{
+											Heur: heurs[m],
+											Seed: seedFor(s.Seed, "point", pid),
+										})
+									}
+								}
+								if wl.Kind == "multi" {
+									// The token is the workload identity; each
+									// constituent derives the same instance seed
+									// its single-workload token would, so multi
+									// points compose the exact instances the
+									// single points evaluate.
+									tok := wl.String()
+									p.Workload = tok
+									p.N = 0
+									p.WorkloadSeed = seedFor(s.Seed, "wl/"+tok, 0)
+									for _, a := range wl.Apps {
+										p.Apps = append(p.Apps, AppRef{
+											Kind: a.Kind,
+											N:    a.N,
+											Seed: seedFor(s.Seed, "wl/"+a.Kind, a.N),
+										})
+									}
+								}
+								points = append(points, p)
 							}
-							if f.Kind == "cal" {
-								if p.Quantum < 1 {
-									p.Quantum = calProbeQuantum
-								}
-								// The group's probes are its first K sibling
-								// mappings (same plat/fab/dvfs/wl, the other
-								// heuristics of this fidelity). Sibling IDs
-								// differ by the fidelity stride, so each
-								// probe's mapping seed is recomputable here
-								// and identical for every group member.
-								k := f.Probes
-								if k > len(heurs) {
-									k = len(heurs)
-								}
-								for m := 0; m < k; m++ {
-									pid := id - (hi-m)*len(fids)
-									p.CalProbes = append(p.CalProbes, CalProbe{
-										Heur: heurs[m],
-										Seed: seedFor(s.Seed, "point", pid),
-									})
-								}
-							}
-							if wl.Kind == "multi" {
-								// The token is the workload identity; each
-								// constituent derives the same instance seed
-								// its single-workload token would, so multi
-								// points compose the exact instances the
-								// single points evaluate.
-								tok := wl.String()
-								p.Workload = tok
-								p.N = 0
-								p.WorkloadSeed = seedFor(s.Seed, "wl/"+tok, 0)
-								for _, a := range wl.Apps {
-									p.Apps = append(p.Apps, AppRef{
-										Kind: a.Kind,
-										N:    a.N,
-										Seed: seedFor(s.Seed, "wl/"+a.Kind, a.N),
-									})
-								}
-							}
-							points = append(points, p)
 						}
 					}
 				}
@@ -195,13 +207,13 @@ func (s *Sweep) Points() ([]Point, error) {
 //
 //	plat=homog8,wireless,celllike4,mpcore2;fab=mesh,bus;dvfs=0,1,2;
 //	wl=jpeg,h264,carradio,synth16,jobs32;heur=list,anneal,exhaustive;
-//	fid=mvp,pipe8,vp64
+//	fid=mvp,pipe8,vp64;mem=ideal,bank:4x2,bw:8
 //
 // The plat dimension also accepts custom core mixes
 // ("2xrisc+4xdsp@3200") and the wl dimension multi-application
 // scenarios ("multi:jpeg+carradio+synth8"); the full grammar is in
 // the package comment. Unspecified dimensions default to fab=mesh,
-// dvfs=1, heur=list, fid=mvp.
+// dvfs=1, heur=list, fid=mvp, mem=ideal.
 func ParseSweep(spec string, seed uint64) (*Sweep, error) {
 	s := &Sweep{Seed: seed}
 	switch spec {
@@ -276,6 +288,12 @@ func ParseSweep(spec string, seed uint64) (*Sweep, error) {
 					return nil, err
 				}
 				s.Fidelities = append(s.Fidelities, f)
+			case "mem":
+				m, err := mem.ParseSpec(val)
+				if err != nil {
+					return nil, fmt.Errorf("dse: %w", err)
+				}
+				s.Mems = append(s.Mems, m)
 			default:
 				return nil, fmt.Errorf("dse: unknown sweep dimension %q", key)
 			}
@@ -394,6 +412,11 @@ func (s *Sweep) Spec() string {
 		fids = append(fids, f.String())
 	}
 	add("fid", fids)
+	var mems []string
+	for _, m := range s.Mems {
+		mems = append(mems, m.String())
+	}
+	add("mem", mems)
 	return strings.Join(dims, ";")
 }
 

@@ -110,8 +110,9 @@ func TestMixedAxesResume(t *testing.T) {
 // that re-parses to the same dimension values, presets included.
 func TestSweepSpecCanonical(t *testing.T) {
 	for _, spec := range []string{
-		"smoke", "default", "", mixedSpec,
+		"smoke", "default", "", mixedSpec, memSpec,
 		"plat=8xrisc@600;wl=multi:synth2+synth2;fab=bus;dvfs=0,2;heur=exhaustive;fid=pipe4",
+		"plat=homog4;wl=jpeg;mem=ideal,bank:4x2,bw:8",
 	} {
 		sw, err := ParseSweep(spec, 5)
 		if err != nil {
@@ -148,6 +149,8 @@ func TestParseSweepNewTokenErrors(t *testing.T) {
 		"wl=multi:", "wl=multi:jobs32", "wl=multi:jpeg+jobs8",
 		"wl=multi:multi:jpeg", "wl=multi:doom",
 		"wl=multi:jpeg+jpeg+jpeg+jpeg+jpeg+jpeg+jpeg+jpeg+jpeg",
+		"mem=dram", "mem=bank:0x2", "mem=bank:65x1", "mem=bank:4x9",
+		"mem=bank:4", "mem=bw:0", "mem=bw:1025", "mem=bw:",
 	} {
 		if _, err := ParseSweep(bad, 1); err == nil {
 			t.Errorf("ParseSweep(%q) accepted", bad)

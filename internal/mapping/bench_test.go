@@ -3,6 +3,7 @@ package mapping
 import (
 	"testing"
 
+	"mpsockit/internal/mem"
 	"mpsockit/internal/obs"
 	"mpsockit/internal/workload"
 )
@@ -93,6 +94,30 @@ func BenchmarkAnnealCostObs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.objectiveCost(Makespan, a.TaskPE)
+	}
+}
+
+// BenchmarkEvaluateMem is BenchmarkEvaluate with a bank/channel
+// memory contention model attached to the platform: the scheduler
+// charges the model's estimate per cross-PE edge. The CI guard
+// requires 0 allocs/op — the memory axis must not buy its fidelity
+// with allocations on the scoring path.
+func BenchmarkEvaluateMem(b *testing.B) {
+	g := workload.SyntheticTaskGraph(16, 42)
+	plat := wirelessPlat()
+	access, bpns := plat.MemTiming()
+	plat.Mem = mem.NewBankModel(4, 2, access, bpns)
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := NewEvaluator(g, plat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ev.schedule(a.TaskPE, false); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

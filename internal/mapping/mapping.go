@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mpsockit/internal/mem"
 	"mpsockit/internal/platform"
 	"mpsockit/internal/sim"
 	"mpsockit/internal/taskgraph"
@@ -121,6 +122,9 @@ type Evaluator struct {
 	g    *taskgraph.Graph
 	plat *platform.Platform
 	view *taskgraph.View
+	// mem is the platform's memory contention model (nil for ideal),
+	// cached at bind time so the scoring loop skips the field chase.
+	mem mem.Model
 
 	capab  [][]int // per task: capable core IDs (preferred-PE filtered)
 	capBuf []int   // backing array for capab
@@ -159,6 +163,7 @@ func NewEvaluator(g *taskgraph.Graph, plat *platform.Platform) *Evaluator {
 // time.
 func (e *Evaluator) Bind(g *taskgraph.Graph, plat *platform.Platform) {
 	e.g, e.plat = g, plat
+	e.mem = plat.Mem
 	e.view = g.View()
 	n := len(g.Tasks)
 	nPE := len(plat.Cores)
@@ -259,6 +264,9 @@ func (e *Evaluator) schedule(taskPE []int, wantSlots bool) (sim.Time, []Slot, er
 			arr := finish[pr.Task]
 			if taskPE[pr.Task] != pe {
 				arr += e.plat.Fabric.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
+				if e.mem != nil {
+					arr += e.mem.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
+				}
 			}
 			if arr > ready {
 				ready = arr
@@ -400,6 +408,9 @@ func (e *Evaluator) listMap() ([]int, error) {
 		var best float64
 		for _, s := range v.Succs(id) {
 			comm := float64(plat.Fabric.EstLatency(0, len(plat.Cores)-1, s.Bytes))
+			if e.mem != nil {
+				comm += float64(e.mem.EstLatency(0, len(plat.Cores)-1, s.Bytes))
+			}
 			if r := rank[s.Task] + comm; r > best {
 				best = r
 			}
@@ -438,6 +449,9 @@ func (e *Evaluator) listMap() ([]int, error) {
 				arr := finish[pr.Task]
 				if taskPE[pr.Task] != pe {
 					arr += plat.Fabric.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
+					if e.mem != nil {
+						arr += e.mem.EstLatency(taskPE[pr.Task], pe, pr.Bytes)
+					}
 				}
 				if arr > ready {
 					ready = arr
@@ -739,6 +753,9 @@ type ExecStats struct {
 	PEBusy []sim.Time
 	// Fabric is the traffic delta attributable to this run.
 	Fabric platform.FabricStats
+	// Mem is the memory-subsystem service delta attributable to this
+	// run. Zero when the platform has no memory model attached.
+	Mem platform.MemStats
 }
 
 // BusyTotal sums compute time over all PEs.
@@ -793,6 +810,27 @@ func edgeName(i int) string {
 	return "e" + strconv.Itoa(i)
 }
 
+// transferContended moves one cross-PE payload: the fabric delivers
+// it, then — when the platform has a memory contention model — the
+// payload queues for memory service before done fires. With no model
+// (nil Mem) the call is exactly Fabric.Transfer: same arguments, same
+// event stream, byte-identical timing to the pre-model simulator.
+func transferContended(plat *platform.Platform, src, dst, bytes int, done func()) {
+	m := plat.Mem
+	if m == nil {
+		plat.Fabric.Transfer(src, dst, bytes, done)
+		return
+	}
+	k := plat.Kernel
+	plat.Fabric.Transfer(src, dst, bytes, func() {
+		if d := m.Service(k.Now(), src, dst, bytes); d > 0 {
+			k.Schedule(d, done)
+		} else {
+			done()
+		}
+	})
+}
+
 // Execute runs the assignment on the event-driven platform model with
 // genuine fabric contention (transfers share links) — the high-level
 // "virtual platform" simulation of section IV. It uses the platform's
@@ -831,6 +869,7 @@ func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 		peRes[i] = k.NewResource(peName(i), 1)
 	}
 	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
+	mem0 := platform.MemStatsOf(a.Platform.Mem)
 	busy := make([]sim.Time, len(a.Platform.Cores))
 	var makespan sim.Time
 	finished := 0
@@ -853,7 +892,7 @@ func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 				for _, oe := range outEdges {
 					if a.TaskPE[oe.Task] != pe {
 						done := k.NewSignal()
-						a.Platform.Fabric.Transfer(pe, a.TaskPE[oe.Task], oe.Bytes, func() { done.Broadcast() })
+						transferContended(a.Platform, pe, a.TaskPE[oe.Task], oe.Bytes, func() { done.Broadcast() })
 						done.Wait(p)
 					}
 					queues[oe.Edge].Put(p, it)
@@ -873,5 +912,6 @@ func ExecutePipelined(a *Assignment, iterations int) (ExecStats, error) {
 		Makespan: makespan,
 		PEBusy:   busy,
 		Fabric:   platform.FabricStatsOf(a.Platform.Fabric).Sub(fabric0),
+		Mem:      platform.MemStatsOf(a.Platform.Mem).Sub(mem0),
 	}, nil
 }

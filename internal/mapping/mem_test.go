@@ -1,0 +1,206 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpsockit/internal/mem"
+	"mpsockit/internal/platform"
+	"mpsockit/internal/taskgraph"
+	"mpsockit/internal/workload"
+	"mpsockit/internal/xrand"
+)
+
+// memPlat is wirelessPlat with a bank/channel contention model
+// attached, built from the platform's own memory timing — the shape
+// buildPlatform produces for a mem=bank:4x2 sweep point.
+func memPlat() *platform.Platform {
+	plat := wirelessPlat()
+	access, bpns := plat.MemTiming()
+	plat.Mem = mem.NewBankModel(4, 2, access, bpns)
+	return plat
+}
+
+// randomDAGBytes is randomDAG with explicit control over edge payloads
+// for the zero-byte equivalence property: each (from, to) pair appears
+// at most once (so InBytes aggregation can't mix payloads), and every
+// fourth candidate edge carries `small` bytes instead of its fuzzed
+// payload.
+func randomDAGBytes(tasks []uint8, edges []uint16, small int) *taskgraph.Graph {
+	n := len(tasks)%6 + 2
+	g := taskgraph.NewGraph("fuzz")
+	for i := 0; i < n; i++ {
+		cyc := int64(tasks[i%len(tasks)])*1000 + 1000
+		g.AddTask(&taskgraph.Task{
+			Name: "t",
+			WCET: map[platform.PEClass]int64{
+				platform.RISC: cyc,
+				platform.DSP:  cyc/2 + 1,
+				platform.VLIW: cyc + 500,
+			},
+		})
+	}
+	seen := make(map[int]bool)
+	for i, e := range edges {
+		from := int(e>>8) % n
+		to := int(e&0xff) % n
+		if from >= to || seen[from*n+to] {
+			continue
+		}
+		seen[from*n+to] = true
+		bytes := int(e%512) + 1
+		if i%4 == 0 {
+			bytes = small
+		}
+		g.Connect(g.Tasks[from], g.Tasks[to], bytes, "")
+	}
+	return g
+}
+
+// TestZeroByteEdgeEquivalence holds the simulator/estimator agreement
+// contract on the zero-byte edge case: fabrics and memory models all
+// price a non-positive payload as one byte, so a graph with 0-byte
+// edges must schedule AND execute exactly like its twin whose 0-byte
+// edges carry 1 byte — with and without a memory contention model
+// attached. A clamp present on one path but missing on another would
+// make the estimator and the simulator disagree on the same design
+// point.
+func TestZeroByteEdgeEquivalence(t *testing.T) {
+	f := func(tasks []uint8, edges []uint16, seed uint64) bool {
+		if len(tasks) == 0 {
+			return true
+		}
+		if len(edges) > 12 {
+			edges = edges[:12]
+		}
+		gz := randomDAGBytes(tasks, edges, 0)
+		g1 := randomDAGBytes(tasks, edges, 1)
+		if gz.Validate() != nil {
+			return true
+		}
+		for _, withMem := range []bool{false, true} {
+			build := wirelessPlat
+			if withMem {
+				build = memPlat
+			}
+			// One platform, one assignment: the twin graphs have
+			// identical topology, so an assignment is valid for both.
+			plat := build()
+			evz := NewEvaluator(gz, plat)
+			ev1 := NewEvaluator(g1, plat)
+			rng := xrand.New(seed)
+			assign := make([]int, len(gz.Tasks))
+			for id := range assign {
+				cands := evz.Capable(id)
+				if len(cands) == 0 {
+					return true
+				}
+				assign[id] = cands[rng.Intn(len(cands))]
+			}
+			mkz, slotsz, err := evz.schedule(assign, true)
+			if err != nil {
+				return false
+			}
+			mk1, slots1, err := ev1.schedule(assign, true)
+			if err != nil {
+				return false
+			}
+			if mkz != mk1 || !reflect.DeepEqual(slotsz, slots1) {
+				t.Logf("schedule diverged on zero-byte edges (mem=%v): %v vs %v", withMem, mkz, mk1)
+				return false
+			}
+			// Through the event-driven simulator too, each graph on a
+			// fresh platform so kernel and contention state match.
+			sz, err := Execute(&Assignment{Graph: gz, Platform: build(), TaskPE: assign})
+			if err != nil {
+				return false
+			}
+			s1, err := Execute(&Assignment{Graph: g1, Platform: build(), TaskPE: assign})
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(sz, s1) {
+				t.Logf("execution diverged on zero-byte edges (mem=%v): %+v vs %+v", withMem, sz, s1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemExecuteContention: executing a fixed assignment under a
+// memory contention model services exactly one access per fabric
+// transfer and never finishes earlier than the ideal-memory run of
+// the same assignment — contention only adds latency.
+func TestMemExecuteContention(t *testing.T) {
+	g := workload.JPEGTaskGraph()
+	ideal := wirelessPlat()
+	a, err := Map(g, ideal, Options{Heuristic: List})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Execute(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mem != (platform.MemStats{}) {
+		t.Fatalf("ideal platform reported memory traffic: %+v", base.Mem)
+	}
+	contended, err := Execute(&Assignment{Graph: g, Platform: memPlat(), TaskPE: a.TaskPE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Fabric.Transfers == 0 {
+		t.Fatal("assignment did no cross-PE transfers; contention not exercised")
+	}
+	if contended.Mem.Transfers != contended.Fabric.Transfers {
+		t.Fatalf("memory serviced %d accesses for %d fabric transfers",
+			contended.Mem.Transfers, contended.Fabric.Transfers)
+	}
+	if contended.Makespan < base.Makespan {
+		t.Fatalf("contended makespan %v below ideal %v", contended.Makespan, base.Makespan)
+	}
+	// The same run repeated on a fresh platform is deterministic.
+	again, err := Execute(&Assignment{Graph: g, Platform: memPlat(), TaskPE: a.TaskPE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(contended, again) {
+		t.Fatalf("contended execution not deterministic: %+v vs %+v", contended, again)
+	}
+}
+
+// TestScheduleMemZeroAlloc: attaching a memory model must not buy its
+// estimator fidelity with allocations — the scoring hot path stays at
+// zero allocs with the model's latency hook active.
+func TestScheduleMemZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counts are unreliable under -short CI modes (race)")
+	}
+	g := workload.SyntheticTaskGraph(16, 42)
+	plat := memPlat()
+	a, err := Map(g, plat, Options{Heuristic: List})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(g, plat)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := ev.schedule(a.TaskPE, false); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("schedule with mem model allocates %.1f allocs/op, want 0", n)
+	}
+	for _, obj := range []Objective{Makespan, Throughput} {
+		obj := obj
+		if n := testing.AllocsPerRun(200, func() {
+			ev.objectiveCost(obj, a.TaskPE)
+		}); n != 0 {
+			t.Fatalf("objectiveCost(%d) with mem model allocates %.1f allocs/op, want 0", obj, n)
+		}
+	}
+}

@@ -76,6 +76,7 @@ func executeSpans(a *Assignment, spans []taskgraph.Span) (ExecStats, []sim.Time,
 		peRes[i] = k.NewResource(peName(i), 1)
 	}
 	fabric0 := platform.FabricStatsOf(a.Platform.Fabric)
+	mem0 := platform.MemStatsOf(a.Platform.Mem)
 	busy := make([]sim.Time, len(a.Platform.Cores))
 	appMakespan := make([]sim.Time, len(spans))
 	var makespan sim.Time
@@ -108,7 +109,7 @@ func executeSpans(a *Assignment, spans []taskgraph.Span) (ExecStats, []sim.Time,
 				if a.TaskPE[to] == pe {
 					k.Schedule(0, func() { deliver(to) })
 				} else {
-					a.Platform.Fabric.Transfer(pe, a.TaskPE[to], oe.Bytes, func() {
+					transferContended(a.Platform, pe, a.TaskPE[to], oe.Bytes, func() {
 						if k.Now() > makespan {
 							makespan = k.Now()
 						}
@@ -131,5 +132,6 @@ func executeSpans(a *Assignment, spans []taskgraph.Span) (ExecStats, []sim.Time,
 		Makespan: makespan,
 		PEBusy:   busy,
 		Fabric:   platform.FabricStatsOf(a.Platform.Fabric).Sub(fabric0),
+		Mem:      platform.MemStatsOf(a.Platform.Mem).Sub(mem0),
 	}, appMakespan, nil
 }

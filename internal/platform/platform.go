@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mpsockit/internal/mem"
 	"mpsockit/internal/sim"
 )
 
@@ -176,6 +177,32 @@ func FabricStatsOf(f Fabric) FabricStats {
 	return FabricStats{Transfers: transfers, Wait: wait}
 }
 
+// MemStats is the memory-subsystem counterpart of FabricStats:
+// serviced memory accesses and the queue wait they accumulated behind
+// busy banks/channels (or the shared DMA engine). Design-space
+// exploration reads the delta across a simulation to score memory
+// pressure.
+type MemStats struct {
+	Transfers uint64
+	Wait      sim.Time
+}
+
+// Sub returns s - prev, the accesses serviced between the two
+// snapshots.
+func (s MemStats) Sub(prev MemStats) MemStats {
+	return MemStats{Transfers: s.Transfers - prev.Transfers, Wait: s.Wait - prev.Wait}
+}
+
+// MemStatsOf snapshots a memory model's counters. A nil model (the
+// ideal memory) has no counters and snapshots as zero.
+func MemStatsOf(m mem.Model) MemStats {
+	if m == nil {
+		return MemStats{}
+	}
+	transfers, wait := m.Stats()
+	return MemStats{Transfers: transfers, Wait: wait}
+}
+
 // Fabric is the on-chip interconnect abstraction. Implementations live
 // in internal/noc (mesh network-on-chip, shared bus). Transfer models
 // moving a payload between two cores' local memories and invokes done
@@ -202,6 +229,23 @@ type Platform struct {
 	Fabric      Fabric
 	SharedBytes int
 	Kernel      *sim.Kernel
+
+	// Mem is the optional memory-subsystem contention model cross-PE
+	// payloads are serviced by after the fabric delivers them. nil is
+	// the ideal memory: zero service time, the pre-model behaviour.
+	Mem mem.Model
+}
+
+// MemTiming returns the platform's memory-subsystem service
+// parameters — per-access latency and DMA burst bandwidth in bytes
+// per nanosecond — for mem.Spec.Build. Platforms with off-cluster
+// shared memory (DRAM behind the fabric) pay a longer access than the
+// local-store-only ones, whose "memory" is a neighbour's scratchpad.
+func (p *Platform) MemTiming() (access sim.Time, bytesPerNS int64) {
+	if p.SharedBytes > 0 {
+		return 30 * sim.Nanosecond, 8
+	}
+	return 15 * sim.Nanosecond, 8
 }
 
 // Homogeneous reports whether all cores share one PE class — the
